@@ -1,0 +1,107 @@
+"""Experiment C1 -- Section 1 claim: an unreplicated root bottlenecks.
+
+"If the root node is not replicated, it becomes a bottleneck and
+overwhelms the node that stores it."
+
+The experiment drives a closed-loop search workload (each processor
+keeps two operations outstanding) against (a) a centralized tree --
+every node on processor 0 -- and (b) a dB-tree with a replicated
+index, sweeping the processor count.  The centralized configuration
+saturates at roughly one processor's action rate while the dB-tree
+scales; the server's utilization versus everyone else's shows *where*
+the bottleneck sits.
+"""
+
+from common import emit
+from repro import DBTreeCluster
+from repro.baselines import centralized_cluster
+from repro.stats import format_table
+from repro.workloads import ClosedLoopDriver, Workload
+
+PRELOAD = [(i * 7) % 2003 for i in range(200)]
+
+
+def measure(make_cluster, searches: int = 400) -> dict:
+    cluster = make_cluster()
+    for key in PRELOAD:
+        cluster.insert(key, key)
+    cluster.run()
+    operations = tuple(
+        ("search", PRELOAD[i % len(PRELOAD)], None) for i in range(searches)
+    )
+    workload = Workload(operations=operations, clients=tuple(cluster.kernel.pids))
+    start = cluster.now
+    ClosedLoopDriver(cluster, workload, depth=2).run()
+    elapsed = cluster.now - start
+    completed = len(cluster.trace.latencies("search"))
+    utilization = cluster.utilization()
+    hottest = max(utilization.values())
+    others = sorted(utilization.values())[:-1]
+    return {
+        "throughput": completed / elapsed,
+        "hottest_util": hottest,
+        "median_other_util": others[len(others) // 2] if others else 0.0,
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    for procs in (2, 4, 8, 16):
+        replicated = measure(
+            lambda p=procs: DBTreeCluster(
+                num_processors=p, protocol="semisync", capacity=8, seed=3
+            )
+        )
+        central = measure(
+            lambda p=procs: centralized_cluster(num_processors=p, capacity=8, seed=3)
+        )
+        rows.append(
+            [
+                procs,
+                replicated["throughput"],
+                central["throughput"],
+                replicated["throughput"] / central["throughput"],
+                central["hottest_util"],
+                central["median_other_util"],
+            ]
+        )
+    table = format_table(
+        [
+            "procs",
+            "dB-tree ops/t",
+            "central ops/t",
+            "speedup",
+            "central server util",
+            "central others util",
+        ],
+        rows,
+        title=(
+            "C1: search throughput -- replicated index vs single-processor "
+            "tree (closed loop, depth 2)"
+        ),
+    )
+    return emit("c1_root_bottleneck", table)
+
+
+def test_c1_root_bottleneck(benchmark):
+    replicated = benchmark.pedantic(
+        lambda: measure(
+            lambda: DBTreeCluster(
+                num_processors=8, protocol="semisync", capacity=8, seed=3
+            )
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    central = measure(
+        lambda: centralized_cluster(num_processors=8, capacity=8, seed=3)
+    )
+    # Shape: the replicated index wins clearly at 8 processors, and
+    # the centralized server is the hot spot.
+    assert replicated["throughput"] > 1.5 * central["throughput"]
+    assert central["hottest_util"] > 3 * max(central["median_other_util"], 0.01)
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

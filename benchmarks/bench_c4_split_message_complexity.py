@@ -1,0 +1,77 @@
+"""Experiment C4 -- Section 4.1.2 claims on split message complexity.
+
+"By applying the 'trick' of rewriting history, we can obtain a
+simpler algorithm that never blocks insert actions and requires only
+|copies(n)| messages per split (and therefore is optimal)."  And:
+"If every communications channel between copies had to be flushed, a
+split action would require O(|copies(n)|^2) messages instead of the
+O(|copies(n)|) messages that this algorithm uses."
+
+The experiment measures coordination messages per split for the
+synchronous and semi-synchronous protocols across copy-set sizes and
+tabulates the analytic cost of the channel-flush strawman (every pair
+of copies exchanging a flush marker: c(c-1) messages) for comparison.
+"""
+
+from common import emit, insert_burst
+from repro import DBTreeCluster
+from repro.stats import format_table, split_message_cost
+
+
+def measure(protocol: str, procs: int, count: int = 300, seed: int = 3) -> dict:
+    cluster = DBTreeCluster(
+        num_processors=procs, protocol=protocol, capacity=4, seed=seed
+    )
+    expected = insert_burst(cluster, count=count)
+    report = cluster.check(expected=expected)
+    if not report.ok:
+        raise AssertionError(report.problems[0])
+    return split_message_cost(cluster.engine)
+
+
+def run_experiment() -> str:
+    rows = []
+    for procs in (2, 4, 8, 12):
+        semi = measure("semisync", procs)
+        sync = measure("sync", procs)
+        flush_strawman = procs * (procs - 1)  # pairwise channel flush
+        rows.append(
+            [
+                procs,
+                semi["coordination"],
+                sync["coordination"],
+                flush_strawman,
+                sync["coordination"] / semi["coordination"],
+            ]
+        )
+    table = format_table(
+        [
+            "copies",
+            "semisync msgs/split",
+            "sync msgs/split",
+            "channel-flush O(c^2)",
+            "sync/semisync",
+        ],
+        rows,
+        title=(
+            "C4: split coordination cost -- |c| (optimal) vs 3|c| vs the "
+            "O(|c|^2) channel-flush strawman"
+        ),
+    )
+    return emit("c4_split_message_complexity", table)
+
+
+def test_c4_split_message_complexity(benchmark):
+    semi = benchmark.pedantic(
+        lambda: measure("semisync", 8), rounds=2, iterations=1
+    )
+    sync = measure("sync", 8)
+    peers = 7
+    assert semi["coordination"] == peers  # |copies| - 1: optimal
+    assert sync["coordination"] == 3 * peers  # three rounds
+    assert 8 * 7 > sync["coordination"]  # strawman is worse still
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

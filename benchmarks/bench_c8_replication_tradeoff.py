@@ -1,0 +1,87 @@
+"""Experiment C8 -- §1.1 claim: the replication trade-off itself.
+
+"As we increase the degree of replication, however, the cost of
+maintaining coherent copies of a node increases.  Since the root is
+rarely updated, maintaining coherence at the root isn't a problem.  A
+leaf is rarely accessed [by any one processor], but a significant
+portion of the accesses are updates.  As a result, wide replication
+of leaf nodes is prohibitively expensive."
+
+This is the claim that justifies the dB-tree policy (root everywhere,
+leaves single).  The experiment sweeps a uniform replication factor
+and measures, on the same mixed workload, the per-search remote cost
+(drops with more copies -- reads hit a local replica) and the
+per-insert maintenance cost (grows linearly with copies -- every
+update must reach every replica).  The crossover is the policy.
+"""
+
+from common import emit, paced_inserts
+from repro import DBTreeCluster, FixedFactor
+from repro.stats import format_table
+
+
+def measure(factor: int, procs: int = 8, seed: int = 3) -> dict:
+    cluster = DBTreeCluster(
+        num_processors=procs,
+        protocol="semisync",
+        capacity=8,
+        replication=FixedFactor(factor),
+        seed=seed,
+    )
+    inserts = 300
+    expected = paced_inserts(cluster, count=inserts, interarrival=1.0)
+    insert_messages = cluster.kernel.network.stats.sent
+
+    cluster.kernel.network.reset_stats()
+    searches = 300
+    keys = list(expected)
+    for index in range(searches):
+        cluster.search(keys[index % len(keys)], client=index % procs)
+    cluster.run()
+    search_messages = cluster.kernel.network.stats.sent
+
+    report = cluster.check(expected=expected)
+    if not report.ok:
+        raise AssertionError(report.problems[0])
+    return {
+        "factor": factor,
+        "insert_msgs_per_op": insert_messages / inserts,
+        "search_msgs_per_op": search_messages / searches,
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    for factor in (1, 2, 4, 8):
+        result = measure(factor)
+        rows.append(
+            [
+                factor,
+                result["search_msgs_per_op"],
+                result["insert_msgs_per_op"],
+            ]
+        )
+    table = format_table(
+        ["copies per node", "search msgs/op", "insert msgs/op"],
+        rows,
+        title=(
+            "C8: the replication trade-off -- reads get cheaper with more "
+            "copies, updates get linearly more expensive (hence: replicate "
+            "the read-heavy root widely, the update-heavy leaves not at all)"
+        ),
+    )
+    return emit("c8_replication_tradeoff", table)
+
+
+def test_c8_replication_tradeoff(benchmark):
+    single = benchmark.pedantic(lambda: measure(1), rounds=2, iterations=1)
+    full = measure(8)
+    # Reads: full replication serves searches locally.
+    assert full["search_msgs_per_op"] < 0.5 * single["search_msgs_per_op"]
+    # Updates: maintenance grows with the copy count.
+    assert full["insert_msgs_per_op"] > 2 * single["insert_msgs_per_op"]
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,72 @@
+"""Experiment F1 -- Figure 1: the half-split operation.
+
+The figure shows the two-step B-link split: (1) create the sibling,
+link it into the node list, move the upper half of the keys; (2)
+complete the split by inserting a pointer into the parent.  The
+experiment replays that sequence on a live cluster and reports, per
+node capacity, the cost of a split in actions and messages, verifying
+the mechanics (half the keys move; the chain stays navigable).
+"""
+
+from common import emit, insert_burst
+from repro import DBTreeCluster
+from repro.stats import format_table, split_message_cost
+
+
+def split_mechanics(capacity: int, seed: int = 3) -> dict:
+    """Drive one capacity's worth of splits; return split accounting."""
+    cluster = DBTreeCluster(
+        num_processors=4, protocol="semisync", capacity=capacity, seed=seed
+    )
+    expected = insert_burst(cluster, count=capacity * 12)
+    report = cluster.check(expected=expected)
+    if not report.ok:
+        raise AssertionError(report.problems[0])
+    cost = split_message_cost(cluster.engine)
+    leaves = [c for c in cluster.engine.all_copies() if c.is_leaf and c.is_pc]
+    sizes = [c.num_entries for c in leaves]
+    return {
+        "capacity": capacity,
+        "splits": cost["splits"],
+        "msgs_per_split": cost["total"],
+        "min_fill": min(sizes),
+        "max_fill": max(sizes),
+        "avg_fill": sum(sizes) / len(sizes),
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    for capacity in (4, 8, 16, 32):
+        result = split_mechanics(capacity)
+        rows.append(
+            [
+                result["capacity"],
+                result["splits"],
+                result["msgs_per_split"],
+                result["min_fill"],
+                result["avg_fill"],
+                result["max_fill"],
+            ]
+        )
+    table = format_table(
+        ["capacity", "splits", "msgs/split", "min fill", "avg fill", "max fill"],
+        rows,
+        title="F1 (Figure 1): half-split mechanics across node capacities",
+    )
+    return emit("f1_half_split", table)
+
+
+def test_f1_half_split(benchmark):
+    result = benchmark.pedantic(
+        lambda: split_mechanics(capacity=8), rounds=3, iterations=1
+    )
+    # Shape: splits happened, no node ends above capacity, and the
+    # two halves of a split are non-trivial (fills stay >= 1).
+    assert result["splits"] > 5
+    assert 1 <= result["min_fill"] <= result["max_fill"] <= 8
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,90 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every experiment module exposes:
+
+* ``run_experiment()`` -- the full parameter sweep, returning a
+  rendered table (the rows/series the paper's figure or claim
+  describes),
+* ``test_<id>(benchmark)`` -- a pytest-benchmark entry that times a
+  representative configuration and asserts the claim's *shape*
+  (who wins, by roughly what factor),
+* a ``__main__`` hook so ``python benchmarks/bench_<id>.py`` prints
+  the table directly (``benchmarks/run_all.py`` runs the lot).
+
+Tables are also written to ``benchmarks/results/<id>.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the experiment
+output on disk next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro import DBTreeCluster
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def save_table(experiment_id: str, table: str) -> None:
+    """Persist a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(table + "\n")
+
+
+def emit(experiment_id: str, table: str) -> str:
+    """Print and persist an experiment table; returns it unchanged."""
+    print()
+    print(table)
+    save_table(experiment_id, table)
+    return table
+
+
+def insert_burst(
+    cluster: DBTreeCluster,
+    count: int,
+    key_stride: int = 7,
+    key_modulus: int | None = None,
+) -> dict:
+    """Submit ``count`` distinct-key inserts at time zero and run.
+
+    Returns the expected key -> value mapping.
+    """
+    modulus = key_modulus if key_modulus is not None else max(count * 16 + 1, 17)
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = (index * key_stride) % modulus
+        if key in expected:
+            raise ValueError("stride/modulus produced a duplicate key")
+        expected[key] = index
+        cluster.insert(key, index, client=pids[index % len(pids)])
+    cluster.run()
+    return expected
+
+
+def paced_inserts(
+    cluster: DBTreeCluster,
+    count: int,
+    interarrival: float,
+    key_stride: int = 7,
+    key_modulus: int | None = None,
+    start: float = 0.0,
+) -> dict:
+    """Schedule inserts at a fixed arrival rate and run to quiescence."""
+    modulus = key_modulus if key_modulus is not None else max(count * 16 + 1, 17)
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = (index * key_stride) % modulus
+        if key in expected:
+            raise ValueError("stride/modulus produced a duplicate key")
+        expected[key] = index
+        cluster.schedule(
+            start + index * interarrival,
+            "insert",
+            key,
+            index,
+            client=pids[index % len(pids)],
+        )
+    cluster.run()
+    return expected

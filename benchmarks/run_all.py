@@ -1,0 +1,62 @@
+"""Regenerate every experiment table in one run.
+
+Usage::
+
+    python benchmarks/run_all.py            # all experiments
+    python benchmarks/run_all.py f4 c1 a2   # a subset by id prefix
+
+Each experiment prints the rows/series its paper figure or claim
+describes and writes the same table to benchmarks/results/<id>.txt.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+EXPERIMENTS = [
+    ("f1", "bench_f1_half_split"),
+    ("f2", "bench_f2_replication_policy"),
+    ("f3", "bench_f3_lazy_convergence"),
+    ("f4", "bench_f4_lost_inserts"),
+    ("f5", "bench_f5_sync_vs_semisync"),
+    ("f6", "bench_f6_join_race"),
+    ("c1", "bench_c1_root_bottleneck"),
+    ("c2", "bench_c2_lazy_vs_vigorous"),
+    ("c3", "bench_c3_concurrency"),
+    ("c4", "bench_c4_split_message_complexity"),
+    ("c5", "bench_c5_migration"),
+    ("c6", "bench_c6_data_balancing"),
+    ("c7", "bench_c7_never_merge_utilization"),
+    ("c8", "bench_c8_replication_tradeoff"),
+    ("a1", "bench_a1_piggyback"),
+    ("a2", "bench_a2_fifo_assumption"),
+    ("x1", "bench_x1_hash_directory"),
+    ("x2", "bench_x2_fault_tolerance"),
+    ("x3", "bench_x3_free_at_empty"),
+    ("x4", "bench_x4_trie_edges"),
+]
+
+
+def main(argv: list[str]) -> int:
+    wanted = {arg.lower() for arg in argv}
+    failures = 0
+    for experiment_id, module_name in EXPERIMENTS:
+        if wanted and experiment_id not in wanted:
+            continue
+        started = time.perf_counter()
+        try:
+            module = importlib.import_module(module_name)
+            module.run_experiment()
+        except Exception as exc:  # keep going; report at the end
+            failures += 1
+            print(f"\n[{experiment_id}] FAILED: {exc}")
+            continue
+        elapsed = time.perf_counter() - started
+        print(f"[{experiment_id}] done in {elapsed:.1f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,86 @@
+"""Lazy updates beyond trees: the distributed hash table.
+
+The paper closes with "we will apply lazy updates to other
+distributed data structures, such as hash tables."  This example runs
+that program: a distributed extendible hash table whose per-processor
+directory replicas are maintained with lazy updates — bucket splits
+announce themselves asynchronously, stale replicas misroute and are
+repaired by bucket split-links plus corrective updates (the exact
+analogue of B-link right-pointer recovery), and directory facts are
+version-ordered by depth so nothing regresses.
+
+Three maintenance disciplines on the same workload:
+
+* lazy        — async split announcements (never blocks)
+* correction  — no announcements at all; replicas learn only from
+                their own misroutes (maximally lazy)
+* sync        — every split blocks its bucket until all replicas ack
+                (the vigorous foil)
+
+Run:  python examples/lazy_hash_table.py
+"""
+
+from repro.hash import LazyHashTable
+from repro.stats import format_table
+
+
+def run_mode(mode: str) -> list:
+    table = LazyHashTable(num_processors=8, capacity=8, mode=mode, seed=13)
+    expected = {}
+    # Paced load so directory staleness actually matters.
+    for index in range(600):
+        key = f"user:{index}"
+        expected[key] = {"id": index}
+        table.kernel.events.schedule(
+            index * 2.0,
+            lambda k=key, i=index: table.insert(k, {"id": i}, client=i % 8),
+        )
+    table.run()
+    # A read sweep from every processor exercises (and repairs) the
+    # replicas.
+    for index in range(200):
+        table.search(f"user:{index * 3}", client=index % 8)
+    table.run()
+
+    report = table.check(expected=expected)
+    counters = table.trace.counters
+    return [
+        mode,
+        table.kernel.network.stats.sent,
+        counters.get("hash_splits", 0),
+        counters.get("hash_forwarded", 0),
+        counters.get("hash_corrections_sent", 0),
+        counters.get("hash_ops_blocked", 0),
+        "PASS" if report.ok else "FAIL",
+    ]
+
+
+def main() -> None:
+    rows = [run_mode(mode) for mode in ("lazy", "correction", "sync")]
+    print(
+        format_table(
+            [
+                "directory mode",
+                "total msgs",
+                "splits",
+                "misroutes",
+                "corrections",
+                "blocked ops",
+                "audit",
+            ],
+            rows,
+            title=(
+                "Lazy hash table: 600 inserts + 200 reads on 8 processors, "
+                "three directory-maintenance disciplines"
+            ),
+        )
+    )
+    print(
+        "\nlazy and correction never block; sync pays acks and stalls."
+        "\nEvery mode stays correct -- staleness is repaired by bucket"
+        "\nsplit-links + image adjustments, never by synchronization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""The paper's protocol spectrum on one workload.
+
+Runs the identical concurrent insert burst under every replica
+maintenance discipline in the repository and prints a side-by-side:
+
+* ``semisync``  -- lazy, history-rewriting (Section 4.1.2; optimal)
+* ``sync``      -- AAS-based, blocks initial inserts (Section 4.1.1)
+* ``naive``     -- the Figure 4 strawman that LOSES inserts
+* ``variable``  -- the full dB-tree with single-copy leaves (4.3)
+* ``available_copies`` -- vigorous lock-all-copies replication (the
+  foil the paper's introduction rejects)
+
+Columns: total network messages, split-coordination messages per
+split, blocked events, lost keys, and whether the correctness audit
+passed.  The naive row is the one that fails -- by design.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import DBTreeCluster
+from repro.baselines import AvailableCopiesProtocol
+from repro.stats import format_table, split_message_cost
+from repro.verify.checker import leaf_contents
+
+INSERTS = 400
+PROCESSORS = 4
+
+
+def run_one(protocol) -> list:
+    cluster = DBTreeCluster(
+        num_processors=PROCESSORS, protocol=protocol, capacity=4, seed=17
+    )
+    expected = {}
+    for index in range(INSERTS):
+        key = (index * 7) % (INSERTS * 16 + 1)
+        expected[key] = index
+        cluster.insert(key, index, client=index % PROCESSORS)
+    cluster.run()
+
+    contents = leaf_contents(cluster.engine)
+    lost = sum(1 for key in expected if key not in contents)
+    report = cluster.check(expected=expected)
+    cost = split_message_cost(cluster.engine)
+    name = protocol if isinstance(protocol, str) else protocol.name
+    return [
+        name,
+        cluster.kernel.network.stats.sent,
+        cost["coordination"],
+        cluster.trace.blocked_events,
+        lost,
+        "PASS" if report.ok else "FAIL",
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_one("semisync"),
+        run_one("sync"),
+        run_one("naive"),
+        run_one("variable"),
+        run_one(AvailableCopiesProtocol()),
+    ]
+    print(
+        format_table(
+            [
+                "protocol",
+                "total msgs",
+                "coord msgs/split",
+                "blocked events",
+                "lost keys",
+                "audit",
+            ],
+            rows,
+            title=(
+                f"{INSERTS} concurrent inserts on {PROCESSORS} processors, "
+                "full replication -- every protocol, same workload"
+            ),
+        )
+    )
+    print(
+        "\nreading guide: semisync = fewest coordination messages, zero"
+        "\nblocking, zero loss; sync pays 3x coordination and blocks"
+        "\ninserts; naive drops keys (Figure 4); available_copies is"
+        "\ncorrect but pays lock rounds and blocks searches."
+    )
+
+
+if __name__ == "__main__":
+    main()

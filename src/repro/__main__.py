@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Build a dB-tree cluster, run a workload, audit it, and print the
+    tree and cluster summary.
+``hash-demo``
+    The same for the lazy distributed hash table.
+``protocols``
+    List the available replica-maintenance protocols.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import DBTreeCluster
+    from repro.tools import cluster_summary, dump_tree
+
+    cluster = DBTreeCluster(
+        num_processors=args.processors,
+        protocol=args.protocol,
+        capacity=args.capacity,
+        seed=args.seed,
+    )
+    expected = {}
+    for index in range(args.inserts):
+        key = index * 37 % 999_983  # prime modulus: keys stay distinct
+        expected[key] = index
+        cluster.insert(key, index, client=index % args.processors)
+    cluster.run()
+    report = cluster.check(expected=expected)
+    print(cluster_summary(cluster.engine))
+    print()
+    print(dump_tree(cluster.engine))
+    print()
+    print("audit:", report.summary())
+    if not report.ok:
+        for problem in report.problems[:10]:
+            print(" ", problem)
+    return 0 if report.ok else 1
+
+
+def _cmd_hash_demo(args: argparse.Namespace) -> int:
+    from repro.hash import LazyHashTable
+
+    table = LazyHashTable(
+        num_processors=args.processors,
+        capacity=args.capacity,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    expected = {}
+    for index in range(args.inserts):
+        key = f"key-{index}"
+        expected[key] = index
+        table.insert(key, index, client=index % args.processors)
+    table.run()
+    report = table.check(expected=expected)
+    counters = table.trace.counters
+    print(
+        f"lazy hash table @ t={table.now:.0f}: "
+        f"{len(table.engine.all_buckets())} buckets over "
+        f"{args.processors} processors, "
+        f"{counters.get('hash_splits', 0)} splits, "
+        f"{counters.get('hash_forwarded', 0)} misroutes repaired, "
+        f"{table.kernel.network.stats.sent} messages"
+    )
+    print("audit:", report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_protocols(_args: argparse.Namespace) -> int:
+    from repro.protocols import PROTOCOLS
+
+    for name, cls in sorted(PROTOCOLS.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<10} {doc}")
+    return 0
+
+
+def _cmd_version(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(repro.__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lazy updates for distributed search structures (dB-tree).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run a dB-tree demo + audit")
+    demo.add_argument("--processors", type=int, default=4)
+    demo.add_argument("--protocol", default="semisync")
+    demo.add_argument("--capacity", type=int, default=8)
+    demo.add_argument("--inserts", type=int, default=120)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    hash_demo = subparsers.add_parser(
+        "hash-demo", help="run a lazy hash table demo + audit"
+    )
+    hash_demo.add_argument("--processors", type=int, default=4)
+    hash_demo.add_argument("--mode", default="lazy",
+                           choices=["lazy", "correction", "sync"])
+    hash_demo.add_argument("--capacity", type=int, default=8)
+    hash_demo.add_argument("--inserts", type=int, default=200)
+    hash_demo.add_argument("--seed", type=int, default=0)
+    hash_demo.set_defaults(func=_cmd_hash_demo)
+
+    protocols = subparsers.add_parser("protocols", help="list protocols")
+    protocols.set_defaults(func=_cmd_protocols)
+
+    version = subparsers.add_parser("version", help="print the version")
+    version.set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

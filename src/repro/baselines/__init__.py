@@ -1,0 +1,22 @@
+"""The paper's comparison points, implemented.
+
+* :mod:`repro.baselines.available_copies` -- vigorous replication:
+  every update locks all copies before applying (the available-copies
+  family the paper's introduction calls prohibitively expensive).
+* :mod:`repro.baselines.single_root` -- the unreplicated search
+  structure: every node on one processor, the root bottleneck the
+  paper's introduction opens with.
+* :mod:`repro.baselines.eager_broadcast` -- eager node migration that
+  broadcasts the new location to every processor (the Emerald-style
+  alternative Section 4.2 contrasts with lazy forwarding/recovery).
+"""
+
+from repro.baselines.available_copies import AvailableCopiesProtocol
+from repro.baselines.eager_broadcast import EagerBroadcastProtocol
+from repro.baselines.single_root import centralized_cluster
+
+__all__ = [
+    "AvailableCopiesProtocol",
+    "EagerBroadcastProtocol",
+    "centralized_cluster",
+]

@@ -1,0 +1,36 @@
+"""The unreplicated baseline: every node on one processor.
+
+Paper, Section 1: *"If the root node is not replicated, it becomes a
+bottleneck and overwhelms the node that stores it."*  Experiment C1
+compares throughput of this centralized configuration against the
+dB-tree's replicated root as the processor count grows: the
+centralized tree saturates at the capacity of one processor while the
+dB-tree keeps scaling.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import DBTreeCluster
+from repro.core.replication import SingleCopy
+
+
+def centralized_cluster(
+    num_processors: int,
+    server_pid: int = 0,
+    capacity: int = 8,
+    **kwargs,
+) -> DBTreeCluster:
+    """A cluster whose entire tree lives on ``server_pid``.
+
+    Clients on the other processors must send every action to the
+    server, which serializes all index work -- the bottleneck the
+    dB-tree replication policy removes.  Accepts the same keyword
+    arguments as :class:`~repro.core.client.DBTreeCluster`.
+    """
+    return DBTreeCluster(
+        num_processors=num_processors,
+        protocol="semisync",
+        capacity=capacity,
+        replication=SingleCopy(pin_to=server_pid),
+        **kwargs,
+    )

@@ -1,0 +1,73 @@
+"""Atomic action sequences: the distributed lock analogue.
+
+Paper, Section 3: *"An algorithm might require that some actions must
+be performed on all copies of a node [...] 'simultaneously'.  Thus,
+we group some action sequences into atomic action sequences, or AAS.
+[...] The AAS is the distributed analogue of the shared memory lock
+[...] However, lazy updates are preferable."*
+
+Only the synchronous split protocol (Section 4.1.1) needs an AAS; the
+lazy protocols exist precisely to avoid this machinery.  The registry
+is deliberately simple: each copy tracks its active AAS instances and
+queues the actions they block, releasing them when the AAS finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+BlockPredicate = Callable[[Any], bool]
+
+
+@dataclass
+class AAS:
+    """One executing atomic action sequence at one copy."""
+
+    aas_id: int
+    name: str
+    blocks: BlockPredicate
+
+
+@dataclass
+class AASRegistry:
+    """Per-copy AAS bookkeeping: active sequences + blocked actions."""
+
+    active: dict[int, AAS] = field(default_factory=dict)
+    pending: list[Any] = field(default_factory=list)
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active)
+
+    def begin(self, aas: AAS) -> None:
+        """Start an AAS at this copy (AASstart)."""
+        if aas.aas_id in self.active:
+            raise ValueError(f"AAS {aas.aas_id} already active")
+        self.active[aas.aas_id] = aas
+
+    def conflicts(self, action: Any) -> bool:
+        """Whether any active AAS blocks ``action``."""
+        return any(aas.blocks(action) for aas in self.active.values())
+
+    def defer(self, action: Any) -> None:
+        """Queue an action blocked by an active AAS."""
+        self.pending.append(action)
+
+    def finish(self, aas_id: int) -> list[Any]:
+        """End an AAS (AASfinish); return actions ready to resume.
+
+        Actions still blocked by another active AAS remain queued.
+        """
+        if aas_id not in self.active:
+            raise ValueError(f"AAS {aas_id} not active")
+        del self.active[aas_id]
+        released: list[Any] = []
+        still_blocked: list[Any] = []
+        for action in self.pending:
+            if self.conflicts(action):
+                still_blocked.append(action)
+            else:
+                released.append(action)
+        self.pending = still_blocked
+        return released

@@ -1,0 +1,358 @@
+"""The action vocabulary of the dB-tree protocols.
+
+An *operation* (search/insert/delete, issued by a client) is executed
+as a sequence of *actions* on node copies (paper, Section 3).  Each
+action names its target logical node and, for update actions, whether
+it is the **initial** action (performed at one copy first, written
+``I`` in the paper) or a **relayed** action (``i``) propagated to the
+remaining copies.
+
+Key-routable actions additionally carry ``(level, key)`` so that a
+misdirected action -- stale parent hint, migrated node, unjoined copy
+-- can recover by re-navigating the tree, exactly the paper's
+out-of-range / missing-node rules (Sections 4.2-4.3).
+
+The ``kind`` class attribute is the accounting label used by the
+network statistics; the message-complexity benchmarks (experiment C4)
+count these labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.keys import Key
+from repro.core.node import NodeSnapshot
+
+
+class Mode(enum.Enum):
+    """Whether an update action is the initial or a relayed execution."""
+
+    INITIAL = "initial"
+    RELAYED = "relayed"
+
+
+@dataclass(frozen=True)
+class OpContext:
+    """Identity of a client operation, carried by its actions."""
+
+    op_id: int
+    kind: str  # "search" | "insert" | "delete"
+    key: Key
+    value: Any
+    home_pid: int
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One step of a tree descent on behalf of an operation.
+
+    Non-update action: examines the target node and issues the next
+    subsequent action (descend, move right, or act on the leaf).
+    """
+
+    kind = "search"
+
+    node_id: int
+    op: OpContext
+
+
+@dataclass(frozen=True)
+class ScanStep:
+    """One leaf visit of a range scan.
+
+    B-link trees make range scans a leaf-chain walk: collect the
+    in-range entries of this leaf, then follow the right link.
+    ``key`` is the scan cursor (the lower bound still to be covered),
+    which doubles as the recovery routing key; ``collected`` carries
+    the accumulated results.  Scans are non-atomic with respect to
+    concurrent updates, like any B-link traversal.
+    """
+
+    kind = "scan"
+
+    node_id: int
+    level: int
+    key: Key
+    op: OpContext
+    collected: tuple = ()
+
+
+@dataclass(frozen=True)
+class ReturnValue:
+    """Return-value action routed to the operation's home processor."""
+
+    kind = "return"
+
+    op: OpContext
+    result: Any
+
+
+@dataclass(frozen=True)
+class InsertAction:
+    """Insert ``key -> payload`` into a node (leaf value or child pointer).
+
+    ``payload_pids`` is the locator hint for the child when this is an
+    interior insert (which processors hold copies of the new sibling).
+    ``origin_version`` is the sender copy's node version at perform
+    time; the variable-copies primary copy uses it to re-relay to
+    members that joined later (Section 4.3).
+    """
+
+    node_id: int
+    level: int
+    key: Key
+    payload: Any
+    mode: Mode
+    action_id: int
+    origin_version: int = 0
+    payload_pids: tuple[int, ...] = ()
+    op: OpContext | None = None
+
+    @property
+    def kind(self) -> str:
+        return f"insert_{self.mode.value}"
+
+
+@dataclass(frozen=True)
+class DeleteAction:
+    """Delete ``key`` from a leaf (never-merge extension)."""
+
+    node_id: int
+    level: int
+    key: Key
+    mode: Mode
+    action_id: int
+    op: OpContext | None = None
+
+    @property
+    def kind(self) -> str:
+        return f"delete_{self.mode.value}"
+
+
+# ----------------------------------------------------------------------
+# synchronous split protocol (Section 4.1.1): AAS control messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SplitStart:
+    """AAS start: blocks initial inserts at the receiving copy."""
+
+    kind = "split_start"
+
+    node_id: int
+    split_id: int
+    pc_pid: int
+
+
+@dataclass(frozen=True)
+class SplitAck:
+    """Copy's acknowledgement of a split AAS back to the primary copy."""
+
+    kind = "split_ack"
+
+    node_id: int
+    split_id: int
+    from_pid: int
+
+
+@dataclass(frozen=True)
+class SplitEnd:
+    """AAS end: apply the half-split and unblock initial inserts."""
+
+    kind = "split_end"
+
+    node_id: int
+    split_id: int
+    action_id: int
+    separator: Key
+    sibling_id: int
+    sibling_pids: tuple[int, ...]
+    new_version: int
+    parent_hint: int | None
+
+
+# ----------------------------------------------------------------------
+# semi-synchronous / variable protocols: one-shot relayed split
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelayedSplit:
+    """Relayed half-split: shrink range, point right at the sibling."""
+
+    kind = "relayed_split"
+
+    node_id: int
+    action_id: int
+    separator: Key
+    sibling_id: int
+    sibling_pids: tuple[int, ...]
+    new_version: int
+    parent_hint: int | None
+
+
+@dataclass(frozen=True)
+class CreateCopy:
+    """Install a new node copy from a snapshot.
+
+    ``reason`` distinguishes sibling creation, join responses, root
+    growth, and migration in the message accounting.
+    """
+
+    snapshot: NodeSnapshot
+    reason: str  # "sibling" | "join" | "root" | "migrate" | "bootstrap"
+
+    @property
+    def kind(self) -> str:
+        return f"create_copy_{self.reason}"
+
+    @property
+    def node_id(self) -> int:
+        return self.snapshot.node_id
+
+
+@dataclass(frozen=True)
+class SetRoot:
+    """Announce a new tree root to a processor (root growth)."""
+
+    kind = "set_root"
+
+    root_id: int
+    root_level: int
+    root_pids: tuple[int, ...]
+    version: int
+
+
+@dataclass(frozen=True)
+class LinkChange:
+    """Ordered link update (Sections 4.2-4.3).
+
+    ``slot`` names which piece of node state changes:
+
+    * ``"right"`` / ``"left"`` / ``"parent"`` -- neighbour links,
+    * ``"location"`` -- where the node's copies now live (migration or
+      join/unjoin), updating the receiver's locator.
+
+    Applied only if ``version`` exceeds the slot's stored version; a
+    stale link-change is discarded, which is the paper's lazy way of
+    producing ordered histories by rewriting.
+    """
+
+    node_id: int
+    level: int
+    key: Key
+    slot: str
+    target_id: int | None
+    target_pids: tuple[int, ...]
+    version: int
+    action_id: int
+    mode: Mode = Mode.INITIAL
+
+    @property
+    def kind(self) -> str:
+        return f"link_change_{self.slot}"
+
+
+# ----------------------------------------------------------------------
+# variable-copies protocol (Section 4.3): join / unjoin
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinRequest:
+    """Processor asks the node's primary copy to join its replication.
+
+    ``exact`` distinguishes the two addressing modes: path-rule joins
+    are *key-addressed* (join whatever node now covers (level, key) --
+    the hint may be stale) while copy-loss healing is *id-addressed*
+    (re-join this specific node; never re-home by key).
+    """
+
+    kind = "join_request"
+
+    node_id: int
+    level: int
+    key: Key
+    requester_pid: int
+    exact: bool = False
+
+
+@dataclass(frozen=True)
+class JoinRetry:
+    """An exact join request could not be delivered; requester may retry."""
+
+    kind = "join_retry"
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class RelayedJoin:
+    """PC informs existing copies of a new replication member."""
+
+    kind = "relayed_join"
+
+    node_id: int
+    action_id: int
+    new_pid: int
+    join_version: int
+
+
+@dataclass(frozen=True)
+class UnjoinRequest:
+    """Processor tells the primary copy it dropped its replica."""
+
+    kind = "unjoin_request"
+
+    node_id: int
+    leaver_pid: int
+
+
+@dataclass(frozen=True)
+class RelayedUnjoin:
+    """PC informs remaining copies of a departed member."""
+
+    kind = "relayed_unjoin"
+
+    node_id: int
+    action_id: int
+    leaver_pid: int
+    new_version: int
+
+
+# ----------------------------------------------------------------------
+# mobile-nodes protocol (Section 4.2): migration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AbsorbRequest:
+    """Free-at-empty: a retired leaf asks its left neighbour to take
+    over its key range (the dE-tree direction the paper defers).
+
+    Routed leftward from the retiring leaf; a receiver that has split
+    since (its high bound no longer meets ``old_low``) forwards the
+    request along its right chain, and a retired receiver forwards it
+    further left -- the same navigability-based recovery as
+    everything else in the protocol family.
+    """
+
+    kind = "absorb"
+
+    node_id: int  # the neighbour being asked to absorb
+    old_low: Key
+    old_high: Key
+    right_id: int | None
+    right_pids: tuple[int, ...]
+    retired_id: int  # the leaf that retired
+    retired_version: int  # orders the right neighbour's left-link fix
+
+
+@dataclass(frozen=True)
+class MigrateNode:
+    """Command: move the (single-copy) node stored here to ``to_pid``."""
+
+    kind = "migrate"
+
+    node_id: int
+    to_pid: int
+
+
+KEY_ROUTABLE = (InsertAction, DeleteAction, LinkChange, JoinRequest)
+"""Action types carrying (level, key) for missing-node recovery."""

@@ -1,0 +1,254 @@
+"""Public facade: build and drive a dB-tree cluster.
+
+:class:`DBTreeCluster` is the entry point a library user touches:
+
+>>> from repro import DBTreeCluster
+>>> cluster = DBTreeCluster(num_processors=4, protocol="semisync",
+...                         capacity=4, seed=7)
+>>> for key in range(20):
+...     _ = cluster.insert(key, f"value-{key}")
+>>> results = cluster.run()
+>>> cluster.search_sync(13)
+'value-13'
+>>> report = cluster.check()
+>>> report.ok
+True
+
+Operations may be submitted asynchronously (``insert`` / ``search`` /
+``delete`` + ``run()``) to exercise real concurrency, or via the
+``*_sync`` conveniences that run the simulation to quiescence per
+call.  ``check()`` runs the full correctness audit (complete /
+compatible / ordered histories plus structural invariants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.actions import MigrateNode
+from repro.core.dbtree import DBTreeEngine
+from repro.core.keys import Key
+from repro.core.replication import ReplicationPolicy
+from repro.sim.failure import FaultPlan
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.simulator import Kernel
+from repro.sim.tracing import OperationRecord
+
+
+@dataclass
+class RunResults:
+    """Outcome of running the cluster to quiescence."""
+
+    events_executed: int
+    elapsed: float
+    completed: dict[int, Any] = field(default_factory=dict)
+    incomplete: tuple[int, ...] = ()
+
+    def result_of(self, op_id: int) -> Any:
+        return self.completed[op_id]
+
+
+
+
+class DBTreeCluster:
+    """A simulated cluster running one dB-tree.
+
+    Parameters
+    ----------
+    num_processors:
+        Cluster size.
+    protocol:
+        Protocol name ("sync", "semisync", "naive", "mobile",
+        "variable") or a pre-built Protocol instance.
+    capacity:
+        Maximum entries per node before the primary copy splits.
+    replication:
+        Replication policy; defaults per protocol (see
+        :func:`default_policy_for`).
+    latency / latency_jitter:
+        Remote message transit time (virtual units); an action's
+        service time is 1 unit, so the default 10 makes a remote hop
+        10x a local action, a typical distributed-memory ratio.
+    seed:
+        Seed for all randomness.
+    fault_plan:
+        Optional network fault injection (A2 ablation only).
+    """
+
+    def __init__(
+        self,
+        num_processors: int = 4,
+        protocol: str | Any = "semisync",
+        capacity: int = 8,
+        replication: ReplicationPolicy | None = None,
+        latency: float = 10.0,
+        latency_jitter: float = 0.0,
+        service_time: float = 1.0,
+        seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        latency_model: LatencyModel | None = None,
+        relay_batch_window: float | None = None,
+    ) -> None:
+        from repro.protocols import make_protocol
+
+        if isinstance(protocol, str):
+            self.protocol = make_protocol(protocol)
+        else:
+            self.protocol = protocol
+        if replication is None:
+            replication = self.protocol.default_policy(num_processors)
+        self.kernel = Kernel(
+            num_processors=num_processors,
+            latency_model=latency_model
+            or UniformLatency(base=latency, jitter=latency_jitter),
+            service_time=service_time,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+        self.engine = DBTreeEngine(
+            kernel=self.kernel,
+            protocol=self.protocol,
+            policy=replication,
+            capacity=capacity,
+            relay_batch_window=relay_batch_window,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def trace(self):
+        return self.engine.trace
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.kernel.processors)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # asynchronous operation submission
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Any = None, client: int = 0) -> int:
+        """Submit an insert at the given client processor; returns op id."""
+        return self.engine.submit_operation("insert", key, value, home_pid=client)
+
+    def search(self, key: Key, client: int = 0) -> int:
+        """Submit a search; returns op id (result available after run())."""
+        return self.engine.submit_operation("search", key, home_pid=client)
+
+    def delete(self, key: Key, client: int = 0) -> int:
+        """Submit a leaf delete (never-merge extension); returns op id."""
+        return self.engine.submit_operation("delete", key, home_pid=client)
+
+    def scan(
+        self,
+        low: Key,
+        high: Key,
+        limit: int | None = None,
+        client: int = 0,
+    ) -> int:
+        """Submit a range scan over ``[low, high)``; returns op id.
+
+        The result (after ``run()``) is a tuple of (key, value) pairs
+        in key order, truncated to ``limit`` when given.  Scans walk
+        the B-link leaf chain and, like any B-link traversal, are not
+        atomic with respect to concurrent updates.
+        """
+        return self.engine.submit_operation(
+            "scan", low, value=(high, limit), home_pid=client
+        )
+
+    def schedule(
+        self, time: float, kind: str, key: Key, value: Any = None, client: int = 0
+    ) -> None:
+        """Schedule an operation submission at a future virtual time."""
+        self.engine.schedule_operation(time, kind, key, value, home_pid=client)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> RunResults:
+        """Run to quiescence; return completed-op results."""
+        executed = self.kernel.run_to_quiescence(max_events=max_events)
+        completed = {
+            op.op_id: op.result
+            for op in self.trace.operations.values()
+            if op.completed_at is not None
+        }
+        incomplete = tuple(op.op_id for op in self.trace.incomplete_operations())
+        return RunResults(
+            events_executed=executed,
+            elapsed=self.kernel.now,
+            completed=completed,
+            incomplete=incomplete,
+        )
+
+    # ------------------------------------------------------------------
+    # synchronous conveniences
+    # ------------------------------------------------------------------
+    def insert_sync(self, key: Key, value: Any = None, client: int = 0) -> bool:
+        op_id = self.insert(key, value, client)
+        return self.run().result_of(op_id)
+
+    def search_sync(self, key: Key, client: int = 0) -> Any:
+        op_id = self.search(key, client)
+        return self.run().result_of(op_id)
+
+    def delete_sync(self, key: Key, client: int = 0) -> bool:
+        op_id = self.delete(key, client)
+        return self.run().result_of(op_id)
+
+    def scan_sync(
+        self,
+        low: Key,
+        high: Key,
+        limit: int | None = None,
+        client: int = 0,
+    ) -> tuple:
+        op_id = self.scan(low, high, limit, client)
+        return self.run().result_of(op_id)
+
+    def load(
+        self,
+        items: Mapping[Key, Any] | Iterable[tuple[Key, Any]],
+        spread_clients: bool = True,
+    ) -> RunResults:
+        """Bulk-insert items (spread across client processors) and run."""
+        if isinstance(items, Mapping):
+            items = items.items()
+        pids = self.kernel.pids
+        for index, (key, value) in enumerate(items):
+            client = pids[index % len(pids)] if spread_clients else pids[0]
+            self.insert(key, value, client=client)
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # mobility
+    # ------------------------------------------------------------------
+    def migrate_node(self, node_id: int, from_pid: int, to_pid: int) -> None:
+        """Ask the processor holding ``node_id`` to migrate it."""
+        self.kernel.processor(from_pid).submit(
+            MigrateNode(node_id=node_id, to_pid=to_pid)
+        )
+
+    # ------------------------------------------------------------------
+    # verification and statistics
+    # ------------------------------------------------------------------
+    def check(self, expected: Mapping[Key, Any] | None = None):
+        """Run the full correctness audit; see repro.verify."""
+        from repro.verify.checker import check_all
+
+        return check_all(self.engine, expected=expected)
+
+    def operation_records(self) -> list[OperationRecord]:
+        return list(self.trace.operations.values())
+
+    def message_stats(self) -> dict[str, Any]:
+        return self.kernel.network.stats.snapshot()
+
+    def utilization(self) -> dict[int, float]:
+        return self.kernel.utilization()

@@ -1,0 +1,1048 @@
+"""The dB-tree engine: a distributed B-link tree over the simulator.
+
+The engine owns everything the paper's Section 4 algorithms share:
+
+* **navigation** -- B-link descent one node at a time, with the
+  out-of-range right-link recovery and the missing-node recovery of
+  Sections 4.2-4.3 (stale parent hints, migrated nodes, unjoined
+  copies are all recovered by re-navigating from a 'close' local node
+  or the root),
+* **split mechanics** -- the half-split itself (Figure 1): sibling
+  creation, link update, parent insert, and root growth,
+* **copy installation, locators, and trace recording**.
+
+What the engine does *not* decide is update ordering: how initial
+updates propagate to the other copies and how splits are ordered
+against inserts.  That is the :class:`~repro.protocols.base.Protocol`
+strategy -- synchronous, semi-synchronous, naive, mobile, or
+variable-copies -- making the engine a faithful implementation of the
+paper's claim that the B-link actions stay fixed while only the copy
+coherence discipline changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.actions import (
+    CreateCopy,
+    DeleteAction,
+    InsertAction,
+    LinkChange,
+    Mode,
+    OpContext,
+    ReturnValue,
+    ScanStep,
+    SearchStep,
+    SetRoot,
+)
+from repro.core.keys import POS_INF, Key, KeyRange
+from repro.core.node import NodeCopy, NodeSnapshot
+from repro.core.piggyback import BatchedRelays
+from repro.core.replication import Placement, ReplicationPolicy
+from repro.sim.processor import Processor
+from repro.sim.simulator import Kernel
+from repro.sim.tracing import Trace
+
+if TYPE_CHECKING:
+    from repro.protocols.base import Protocol
+
+
+@dataclass(frozen=True)
+class InitiateSplit:
+    """Internal action: the PC's node manager runs the split discipline."""
+
+    kind = "initiate_split"
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of the half-split mechanics at the primary copy."""
+
+    action_id: int
+    separator: Key
+    sibling_id: int
+    sibling_pids: tuple[int, ...]
+    parent_id: int | None
+    sibling_version: int
+
+
+ExtraHandler = Callable[[Processor, Any], bool]
+
+
+class DBTreeEngine:
+    """Protocol-parameterised distributed B-link tree.
+
+    Construct with a bound :class:`~repro.sim.simulator.Kernel`, a
+    protocol strategy, and a replication policy; the engine bootstraps
+    a one-leaf tree and installs itself as every processor's action
+    handler.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        protocol: "Protocol",
+        policy: ReplicationPolicy,
+        capacity: int = 8,
+        trace: Trace | None = None,
+        relay_batch_window: float | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.protocol = protocol
+        self.policy = policy
+        self.capacity = capacity
+        self.trace = trace or Trace()
+        if relay_batch_window is not None:
+            from repro.core.piggyback import RelayBatcher
+
+            self.relay_batcher: "RelayBatcher | None" = RelayBatcher(
+                self, relay_batch_window
+            )
+        else:
+            self.relay_batcher = None
+        self._next_node_id = 0
+        self._next_op_id = 0
+        self._extra_handlers: list[ExtraHandler] = []
+        # Called as listener(op, result) when an operation completes;
+        # closed-loop workload drivers hang their next submission here.
+        self.op_completion_listeners: list[Callable[[OpContext, Any], None]] = []
+        for proc in kernel.processors.values():
+            proc.state.update(
+                store={},  # node_id -> NodeCopy
+                locator={},  # node_id -> (version, (pids...))
+                forward={},  # node_id -> (pid, version, time)
+                root_id=None,
+                root_level=-1,
+            )
+        protocol.bind(self)
+        kernel.install_handler(self.handle)
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # small accessors
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def store(self, proc: Processor) -> dict[int, NodeCopy]:
+        return proc.state["store"]
+
+    def copy_at(self, proc: Processor, node_id: int) -> NodeCopy | None:
+        return proc.state["store"].get(node_id)
+
+    def root_id_of(self, proc: Processor) -> int:
+        root_id = proc.state["root_id"]
+        if root_id is None:
+            raise RuntimeError(f"processor {proc.pid} has no root pointer")
+        return root_id
+
+    def add_extra_handler(self, handler: ExtraHandler) -> None:
+        """Register a handler for actions the engine doesn't know
+        (balancer probes, baseline lock messages)."""
+        self._extra_handlers.append(handler)
+
+    def _alloc_node_id(self) -> int:
+        self._next_node_id += 1
+        return self._next_node_id
+
+    def _alloc_op_id(self) -> int:
+        self._next_op_id += 1
+        return self._next_op_id
+
+    @staticmethod
+    def update_params(action: Any) -> tuple:
+        """Canonical hashable description of a keyed update."""
+        if isinstance(action, InsertAction):
+            payload = action.payload
+            try:
+                hash(payload)
+            except TypeError:
+                payload = repr(payload)
+            return ("insert", action.key, payload)
+        if isinstance(action, DeleteAction):
+            return ("delete", action.key)
+        raise TypeError(f"not a keyed update: {action!r}")
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Install the initial tree: a replicated root over one leaf.
+
+        The dB-tree policy stores the root everywhere and each leaf at
+        one processor; the smallest tree satisfying both is a height-1
+        tree, which is what we start from.
+        """
+        pids = self.kernel.pids
+        leaf_id = self._alloc_node_id()
+        leaf_place = self.policy.place(0, pids[0], pids, False, self.kernel.rng)
+        root_id = self._alloc_node_id()
+        root_place = self.policy.place(1, pids[0], pids, True, self.kernel.rng)
+
+        for pid in leaf_place.member_pids:
+            leaf = NodeCopy(
+                node_id=leaf_id,
+                level=0,
+                key_range=KeyRange.full(),
+                pc_pid=leaf_place.pc_pid,
+                copy_versions=leaf_place.copy_versions(),
+                capacity=self.capacity,
+                parent_id=root_id,
+            )
+            self._install_direct(self.kernel.processor(pid), leaf, frozenset(), "bootstrap")
+        for pid in root_place.member_pids:
+            root = NodeCopy(
+                node_id=root_id,
+                level=1,
+                key_range=KeyRange.full(),
+                pc_pid=root_place.pc_pid,
+                copy_versions=root_place.copy_versions(),
+                capacity=self.capacity,
+            )
+            root.insert_entry(KeyRange.full().low, leaf_id)
+            self._install_direct(self.kernel.processor(pid), root, frozenset(), "bootstrap")
+
+        for proc in self.kernel.processors.values():
+            proc.state["root_id"] = root_id
+            proc.state["root_level"] = 1
+            self.learn_location(proc, root_id, root_place.member_pids)
+            self.learn_location(proc, leaf_id, leaf_place.member_pids)
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def submit_operation(
+        self,
+        kind: str,
+        key: Key,
+        value: Any = None,
+        home_pid: int = 0,
+    ) -> int:
+        """Start an operation now; returns its op id.
+
+        The operation begins, as in the paper, by accessing the root:
+        locally when the home processor holds a root copy, otherwise
+        via a message to a root holder.
+        """
+        if kind not in ("search", "insert", "delete", "scan"):
+            raise ValueError(f"unknown operation kind {kind!r}")
+        proc = self.kernel.processor(home_pid)
+        op = OpContext(
+            op_id=self._alloc_op_id(),
+            kind=kind,
+            key=key,
+            value=value,
+            home_pid=home_pid,
+        )
+        self.trace.record_op_submitted(op.op_id, kind, key, home_pid, self.now)
+        root_id = self.root_id_of(proc)
+        self.route_to_node(
+            proc, root_id, SearchStep(node_id=root_id, op=op), level=None, key=key
+        )
+        return op.op_id
+
+    def schedule_operation(
+        self,
+        time: float,
+        kind: str,
+        key: Key,
+        value: Any = None,
+        home_pid: int = 0,
+    ) -> None:
+        """Schedule an operation submission at a future virtual time."""
+        self.kernel.events.schedule(
+            time, lambda: self.submit_operation(kind, key, value, home_pid)
+        )
+
+    def complete_op(self, proc: Processor, op: OpContext, result: Any) -> None:
+        """Issue the return-value action toward the op's home."""
+        action = ReturnValue(op=op, result=result)
+        if op.home_pid == proc.pid:
+            proc.submit(action)
+        else:
+            self.kernel.route(proc.pid, op.home_pid, action)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def retarget(action: Any, node_id: int) -> Any:
+        """The same action re-addressed to another node."""
+        return replace(action, node_id=node_id)
+
+    def send_relay(self, src_pid: int, dst_pid: int, action: Any) -> None:
+        """Send a relayed keyed update, batching when piggybacking is on.
+
+        With no batch window configured this is a plain routed send;
+        with one, relays to the same destination within the window
+        ride a single message (the paper's piggybacking saving).
+        """
+        if self.relay_batcher is not None and src_pid != dst_pid:
+            self.relay_batcher.enqueue(src_pid, dst_pid, action)
+            return
+        self.kernel.route(src_pid, dst_pid, action)
+
+    def learn_location(
+        self,
+        proc: Processor,
+        node_id: int,
+        pids: tuple[int, ...],
+        version: int = 0,
+    ) -> None:
+        """Merge location knowledge into the processor's locator.
+
+        Versioned updates (migration / join link-changes) dominate;
+        unversioned hints never overwrite a versioned entry.  Stale
+        locator entries are harmless: misdirected actions recover.
+        """
+        if not pids:
+            return
+        locator = proc.state["locator"]
+        stored = locator.get(node_id)
+        if stored is None or version >= stored[0]:
+            locator[node_id] = (version, tuple(pids))
+
+    def locate(self, proc: Processor, node_id: int) -> int | None:
+        """A processor believed to hold a copy of ``node_id``."""
+        entry = proc.state["locator"].get(node_id)
+        if entry is None:
+            return None
+        _version, pids = entry
+        if proc.pid in pids and node_id in self.store(proc):
+            return proc.pid
+        candidates = [p for p in pids if p != proc.pid]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.kernel.rng.choice(candidates)
+
+    def route_to_node(
+        self,
+        proc: Processor,
+        node_id: int,
+        action: Any,
+        level: int | None,
+        key: Key,
+    ) -> None:
+        """Deliver an action to some copy of ``node_id``.
+
+        Local copy: enqueue for free.  Otherwise route to a processor
+        the locator names; with no location knowledge, fall back to
+        key-based recovery routing (``level``/``key`` identify the
+        target when the node id hint is useless).
+        """
+        action = self.retarget(action, node_id)
+        if node_id in self.store(proc):
+            proc.submit(action)
+            return
+        pid = self.locate(proc, node_id)
+        if pid is not None and pid != proc.pid:
+            self.kernel.route(proc.pid, pid, action)
+            return
+        self._recover_route(proc, action, level=level, key=key)
+
+    def _recover_route(
+        self, proc: Processor, action: Any, level: int | None, key: Key
+    ) -> None:
+        """Missing-node recovery (paper, Sections 4.2-4.3).
+
+        Find the 'closest' locally stored node -- lowest level >= the
+        target level, preferring copies whose range covers the key --
+        and restart navigation there; with no usable local node, send
+        the action to a root holder.
+        """
+        self.trace.bump("missing_node_recovery")
+        if isinstance(action, SearchStep):
+            target_level, target_key = 0, action.op.key
+        else:
+            target_level = action.level if level is None else level
+            target_key = key
+        best: NodeCopy | None = None
+        best_rank: tuple[int, int] | None = None
+        for copy in self.store(proc).values():
+            if copy.level < (target_level if target_level is not None else 0):
+                continue
+            if copy.node_id == getattr(action, "node_id", None):
+                continue
+            rank = (copy.level, 0 if copy.in_range(target_key) else 1)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = copy, rank
+        if best is not None:
+            proc.submit(self.retarget(action, best.node_id))
+            return
+        root_id = proc.state["root_id"]
+        entry = proc.state["locator"].get(root_id)
+        if entry is None:
+            raise RuntimeError(
+                f"processor {proc.pid} cannot locate the root for recovery"
+            )
+        pids = [p for p in entry[1] if p != proc.pid]
+        if not pids:
+            raise RuntimeError(
+                f"processor {proc.pid} believes only it holds the root, "
+                f"but has no root copy"
+            )
+        self.kernel.route(
+            proc.pid, self.kernel.rng.choice(pids), self.retarget(action, root_id)
+        )
+
+    def forward_same_level(self, proc: Processor, copy: NodeCopy, action: Any, key: Key) -> None:
+        """B-link lateral forwarding for an out-of-range action."""
+        if copy.range.contains(key):
+            raise ValueError("forwarding an in-range action")
+        from repro.core.keys import key_lt
+
+        if key_lt(key, copy.range.low):
+            target = copy.left_id
+            self.trace.bump("forward_left")
+        else:
+            target = copy.right_id
+            self.trace.bump("forward_right")
+        if target is None:
+            # No lateral link: recover by re-navigating from above.
+            self._recover_route(
+                proc,
+                action,
+                level=getattr(action, "level", copy.level),
+                key=key,
+            )
+            return
+        self.route_to_node(
+            proc, target, action, level=getattr(action, "level", copy.level), key=key
+        )
+
+    def step_toward(self, proc: Processor, copy: NodeCopy, action: Any) -> None:
+        """Route a keyed action downward/laterally toward (level, key)."""
+        key = action.key
+        if copy.level < action.level:
+            # Action targets a level above this node; restart from root.
+            self.trace.bump("recovery_via_root")
+            self._route_via_root(proc, action)
+            return
+        if not copy.in_range(key):
+            self.forward_same_level(proc, copy, action, key)
+            return
+        child = copy.child_for(key)
+        self.route_to_node(proc, child, action, level=copy.level - 1, key=key)
+
+    def _route_via_root(self, proc: Processor, action: Any) -> None:
+        root_id = proc.state["root_id"]
+        self.route_to_node(proc, root_id, action, level=None, key=action.key)
+
+    # ------------------------------------------------------------------
+    # central dispatch
+    # ------------------------------------------------------------------
+    def handle(self, proc: Processor, action: Any) -> None:
+        if isinstance(action, SearchStep):
+            self._on_search(proc, action)
+        elif isinstance(action, ReturnValue):
+            self.trace.record_op_completed(action.op.op_id, action.result, self.now)
+            for listener in self.op_completion_listeners:
+                listener(action.op, action.result)
+        elif isinstance(action, ScanStep):
+            self._on_scan(proc, action)
+        elif isinstance(action, (InsertAction, DeleteAction)):
+            self._on_keyed_update(proc, action)
+        elif isinstance(action, LinkChange):
+            self._on_link_change(proc, action)
+        elif isinstance(action, CreateCopy):
+            self._on_create_copy(proc, action)
+        elif isinstance(action, SetRoot):
+            self._on_set_root(proc, action)
+        elif isinstance(action, InitiateSplit):
+            self._on_initiate_split(proc, action)
+        elif isinstance(action, BatchedRelays):
+            for inner in action.actions:
+                proc.submit(inner)
+        elif self.protocol.handle(proc, action):
+            pass
+        else:
+            for handler in self._extra_handlers:
+                if handler(proc, action):
+                    return
+            raise RuntimeError(
+                f"processor {proc.pid} received unhandled action {action!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # searches
+    # ------------------------------------------------------------------
+    def _on_search(self, proc: Processor, action: SearchStep) -> None:
+        op = action.op
+        copy = self.copy_at(proc, action.node_id)
+        if copy is None:
+            self.handle_missing(proc, action)
+            return
+        if not self.protocol.admits_search(proc, copy, action):
+            return  # the protocol queued it (vigorous baseline only)
+        self.trace.record_op_hop(op.op_id)
+        if not copy.in_range(op.key):
+            self.forward_same_level(proc, copy, action, op.key)
+            return
+        if copy.is_leaf:
+            self._act_on_leaf(proc, copy, op)
+            return
+        child = copy.child_for(op.key)
+        self.route_to_node(proc, child, action, level=copy.level - 1, key=op.key)
+
+    def _act_on_leaf(self, proc: Processor, copy: NodeCopy, op: OpContext) -> None:
+        if op.kind == "search":
+            result = copy.lookup(op.key) if copy.has_key(op.key) else None
+            self.complete_op(proc, op, result)
+            return
+        if op.kind == "scan":
+            proc.submit(
+                ScanStep(node_id=copy.node_id, level=0, key=op.key, op=op)
+            )
+            return
+        action_id = self.trace.new_action_id()
+        update: Any
+        if op.kind == "insert":
+            update = InsertAction(
+                node_id=copy.node_id,
+                level=0,
+                key=op.key,
+                payload=op.value,
+                mode=Mode.INITIAL,
+                action_id=action_id,
+                op=op,
+            )
+        else:
+            update = DeleteAction(
+                node_id=copy.node_id,
+                level=0,
+                key=op.key,
+                mode=Mode.INITIAL,
+                action_id=action_id,
+                op=op,
+            )
+        # The update is its own action on the leaf (search action
+        # found the node; the insert action performs the change).
+        proc.submit(update)
+
+    # ------------------------------------------------------------------
+    # range scans (B-link leaf-chain walk)
+    # ------------------------------------------------------------------
+    def _on_scan(self, proc: Processor, action: ScanStep) -> None:
+        from repro.core.keys import key_le, key_lt
+
+        copy = self.copy_at(proc, action.node_id)
+        if copy is None:
+            self.handle_missing(proc, action)
+            return
+        op = action.op
+        self.trace.record_op_hop(op.op_id)
+        if copy.level != 0:
+            self.step_toward(proc, copy, action)
+            return
+        if not copy.in_range(action.key):
+            self.forward_same_level(proc, copy, action, action.key)
+            return
+        high, limit = op.value
+        hits = tuple(
+            (key, value)
+            for key, value in copy.entries()
+            if key_le(action.key, key) and key_lt(key, high)
+        )
+        collected = action.collected + hits
+        done = (
+            copy.right_id is None
+            or key_le(high, copy.range.high)
+            or (limit is not None and len(collected) >= limit)
+        )
+        if done:
+            if limit is not None:
+                collected = collected[:limit]
+            self.complete_op(proc, op, collected)
+            return
+        next_step = replace(
+            action,
+            key=copy.range.high,
+            collected=collected,
+        )
+        self.route_to_node(
+            proc, copy.right_id, next_step, level=0, key=copy.range.high
+        )
+
+    # ------------------------------------------------------------------
+    # keyed updates (inserts / deletes)
+    # ------------------------------------------------------------------
+    def _on_keyed_update(self, proc: Processor, action: Any) -> None:
+        copy = self.copy_at(proc, action.node_id)
+        if copy is None:
+            self.handle_missing(proc, action)
+            return
+        if copy.level != action.level:
+            self.step_toward(proc, copy, action)
+            return
+        if action.mode is Mode.INITIAL:
+            if not copy.in_range(action.key):
+                self.forward_same_level(proc, copy, action, action.key)
+                return
+            if not self.protocol.admits_initial_update(proc, copy, action):
+                return  # deferred by an AAS (synchronous protocol)
+            if isinstance(action, InsertAction):
+                self.protocol.initial_insert(proc, copy, action)
+            else:
+                self.protocol.initial_delete(proc, copy, action)
+        else:
+            if isinstance(action, InsertAction):
+                self.protocol.relayed_insert(proc, copy, action)
+            else:
+                self.protocol.relayed_delete(proc, copy, action)
+
+    # ------------------------------------------------------------------
+    # link changes (ordered actions; Sections 4.2-4.3)
+    # ------------------------------------------------------------------
+    def route_link_change(self, proc: Processor, action: LinkChange) -> None:
+        """Route a link-change to its target node, best effort.
+
+        Link-changes are *id-addressed*: unlike keyed updates they are
+        never re-homed by key.  If the target cannot be located the
+        change is dropped -- a stale link is not a correctness problem
+        because operations recover from stale links themselves
+        (out-of-range forwarding / missing-node recovery); version
+        ordering merely stops old information overwriting new.
+        """
+        if action.node_id in self.store(proc):
+            proc.submit(action)
+            return
+        pid = self.locate(proc, action.node_id)
+        if pid is None or pid == proc.pid:
+            self.trace.bump("link_change_unroutable")
+            return
+        self.kernel.route(proc.pid, pid, action)
+
+    def _on_link_change(self, proc: Processor, action: LinkChange) -> None:
+        copy = self.copy_at(proc, action.node_id)
+        if copy is None:
+            self.handle_missing(proc, action)
+            return
+        if action.slot == "location":
+            self._apply_location_change(proc, copy, action)
+            return
+        self._apply_link_slot_change(proc, copy, action)
+
+    def _apply_location_change(
+        self, proc: Processor, copy: NodeCopy, action: LinkChange
+    ) -> None:
+        """A neighbour's copies moved: refresh this processor's locator."""
+        self.learn_location(proc, action.target_id, action.target_pids, action.version)
+        if action.mode is Mode.INITIAL:
+            for pid in copy.peers_of(proc.pid):
+                self.kernel.route(
+                    proc.pid, pid, replace(action, mode=Mode.RELAYED)
+                )
+
+    def _apply_link_slot_change(
+        self, proc: Processor, copy: NodeCopy, action: LinkChange
+    ) -> None:
+        current = copy.link_versions.get(action.slot, -1)
+        if action.version <= current:
+            # Stale: the history is rewritten to insert the change in
+            # its proper (superseded) place, i.e. it is discarded.
+            self.trace.bump("stale_link_change")
+            return
+        if action.slot == "right":
+            copy.right_id = action.target_id
+        elif action.slot == "left":
+            copy.left_id = action.target_id
+        elif action.slot == "parent":
+            copy.parent_id = action.target_id
+        else:
+            raise ValueError(f"unknown link slot {action.slot!r}")
+        copy.link_versions[action.slot] = action.version
+        if action.target_id is not None:
+            self.learn_location(proc, action.target_id, action.target_pids)
+        params = ("link_change", action.slot, action.target_id, action.version)
+        record = (
+            self.trace.record_initial
+            if action.mode is Mode.INITIAL
+            else self.trace.record_relayed
+        )
+        record(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind="link_change",
+            params=params,
+            version=action.version,
+            time=self.now,
+        )
+        copy.incorporated_ids.add(action.action_id)
+        if action.mode is Mode.INITIAL:
+            for pid in copy.peers_of(proc.pid):
+                self.kernel.route(proc.pid, pid, replace(action, mode=Mode.RELAYED))
+
+    # ------------------------------------------------------------------
+    # copy installation
+    # ------------------------------------------------------------------
+    def _on_create_copy(self, proc: Processor, action: CreateCopy) -> None:
+        snap = action.snapshot
+        if snap.node_id in self.store(proc):
+            self.trace.bump("duplicate_copy_ignored")
+            return
+        copy = NodeCopy.from_snapshot(snap)
+        self._install_direct(proc, copy, snap.birth_set, action.reason)
+        for child_id, pids in snap.child_locations:
+            self.learn_location(proc, child_id, pids)
+        if action.reason == "root" and snap.level > proc.state["root_level"]:
+            proc.state["root_id"] = snap.node_id
+            proc.state["root_level"] = snap.level
+
+    def _install_direct(
+        self,
+        proc: Processor,
+        copy: NodeCopy,
+        birth_set: frozenset[int],
+        reason: str,
+    ) -> None:
+        copy.home_pid = proc.pid
+        self.store(proc)[copy.node_id] = copy
+        proc.state["forward"].pop(copy.node_id, None)
+        self.trace.record_birth(copy.node_id, proc.pid, birth_set, self.now)
+        self.learn_location(proc, copy.node_id, copy.copy_pids, copy.version)
+        self.protocol.after_copy_installed(proc, copy, reason)
+        # A copy can be born overfull (a burst of inserts before the
+        # split executes leaves the sibling with more than half of a
+        # very full node); its primary must notice immediately.
+        if copy.is_pc:
+            self.protocol.maybe_split(proc, copy)
+
+    def make_snapshot(
+        self,
+        proc: Processor,
+        copy: NodeCopy,
+        birth_set: frozenset[int] | None = None,
+    ) -> NodeSnapshot:
+        """Wire snapshot of a copy, carrying child-location hints."""
+        snap = copy.snapshot(birth_set=birth_set)
+        if copy.is_leaf:
+            return snap
+        locator = proc.state["locator"]
+        child_locations = []
+        for _key, child_id in copy.entries():
+            entry = locator.get(child_id)
+            if entry is not None:
+                child_locations.append((child_id, entry[1]))
+        return replace(snap, child_locations=tuple(child_locations))
+
+    def _on_set_root(self, proc: Processor, action: SetRoot) -> None:
+        if action.root_level > proc.state["root_level"]:
+            proc.state["root_id"] = action.root_id
+            proc.state["root_level"] = action.root_level
+        self.learn_location(proc, action.root_id, action.root_pids)
+
+    # ------------------------------------------------------------------
+    # missing-node handling
+    # ------------------------------------------------------------------
+    def handle_missing(self, proc: Processor, action: Any) -> None:
+        """Action arrived for a node this processor doesn't store.
+
+        Relayed actions are discarded (an unjoined or migrated-away
+        copy ignores them, Section 4.3); initial actions follow the
+        forwarding address when one exists, then fall back to
+        key-based recovery.  Link-changes never re-route by key (see
+        :meth:`route_link_change`).
+        """
+        mode = getattr(action, "mode", None)
+        if mode is Mode.RELAYED:
+            self.trace.bump("relay_to_missing_copy")
+            # Fault-tolerance hook: a relayed update addressed to a
+            # copy we do not hold may mean we *lost* the copy (we are
+            # still in the sender's member list); protocols may heal.
+            self.protocol.on_relay_to_missing(proc, action)
+            return
+        forward = proc.state["forward"].get(getattr(action, "node_id", None))
+        if forward is not None:
+            to_pid, _version, _since = forward
+            self.trace.bump("forwarded_by_address")
+            self.kernel.route(proc.pid, to_pid, action)
+            return
+        if isinstance(action, LinkChange):
+            self.trace.bump("link_change_undeliverable")
+            return
+        if isinstance(action, SearchStep):
+            self._recover_route(proc, action, level=0, key=action.op.key)
+            return
+        if hasattr(action, "level") and hasattr(action, "key"):
+            self._recover_route(proc, action, level=action.level, key=action.key)
+            return
+        self.trace.bump("undeliverable_action")
+
+    def crash_copy(self, pid: int, node_id: int) -> None:
+        """Fault injection: a processor loses one node copy (amnesia).
+
+        The copy vanishes without any protocol action -- the other
+        members still list the processor, so relays keep arriving and
+        are dropped (or trigger healing, where the protocol supports
+        it).  Used by the fault-tolerance experiments.
+        """
+        proc = self.kernel.processor(pid)
+        copy = self.store(proc).pop(node_id, None)
+        if copy is None:
+            raise ValueError(f"processor {pid} holds no copy of node {node_id}")
+        self.trace.record_copy_deleted(node_id, pid, self.now)
+        self.trace.bump("crashed_copies")
+
+    def gc_retired(self, older_than: float) -> int:
+        """Garbage-collect retired (free-at-empty) zombie leaves.
+
+        Like forwarding addresses, retired nodes are kept only as a
+        convenience for in-flight actions; reclaiming an *unreferenced*
+        zombie is always safe because no navigation path leads to it.
+        Zombies still named by an interior entry (immortal leftmost
+        entries keep pointing at their retired child) are kept -- they
+        are live forwarders.  Returns the number collected.
+        """
+        referenced: set[int] = set()
+        for copy in self.all_copies():
+            if copy.is_leaf:
+                continue
+            referenced.update(child for _key, child in copy.entries())
+        collected = 0
+        for proc in self.kernel.processors.values():
+            store = self.store(proc)
+            stale = [
+                node_id
+                for node_id, copy in store.items()
+                if copy.retired
+                and node_id not in referenced
+                and copy.proto.get("retired_at", 0.0) < older_than
+            ]
+            for node_id in stale:
+                del store[node_id]
+                self.trace.record_copy_deleted(node_id, proc.pid, self.now)
+                collected += 1
+        return collected
+
+    def gc_forwarding(self, older_than: float) -> int:
+        """Garbage-collect forwarding addresses created before a time.
+
+        The paper notes forwarding addresses are an optimization, not
+        a correctness requirement, so they can be reclaimed at
+        convenient intervals; returns the number collected.
+        """
+        collected = 0
+        for proc in self.kernel.processors.values():
+            forward = proc.state["forward"]
+            stale = [nid for nid, (_p, _v, since) in forward.items() if since < older_than]
+            for nid in stale:
+                del forward[nid]
+                collected += 1
+        return collected
+
+    # ------------------------------------------------------------------
+    # split mechanics (Figure 1)
+    # ------------------------------------------------------------------
+    def schedule_split(self, proc: Processor, node_id: int) -> None:
+        """Queue the split-initiation action at the primary copy."""
+        proc.submit(InitiateSplit(node_id=node_id))
+
+    def _on_initiate_split(self, proc: Processor, action: InitiateSplit) -> None:
+        copy = self.copy_at(proc, action.node_id)
+        if copy is None:
+            self.trace.bump("split_on_missing_copy")
+            return
+        self.protocol.initiate_split(proc, copy)
+
+    def perform_half_split(
+        self,
+        proc: Processor,
+        copy: NodeCopy,
+        placement: Placement | None = None,
+    ) -> SplitResult:
+        """Execute the half-split at the primary copy.
+
+        Creates the sibling (all its copies), re-links, issues the
+        parent insert (or grows the root), and issues the left-link
+        change to the old right neighbour when the protocol maintains
+        left links.  Relaying the split to the node's own peer copies
+        is the *protocol's* job -- that is exactly where the
+        synchronous and semi-synchronous algorithms differ.
+        """
+        if placement is None:
+            placement = self.protocol.sibling_placement(proc, copy)
+        separator = copy.choose_separator()
+        sibling_id = self._alloc_node_id()
+        old_high = copy.range.high
+        old_right = copy.right_id
+        growing = copy.parent_id is None
+
+        upper = copy.apply_half_split(separator, sibling_id)
+        action_id = self.trace.new_action_id()
+        copy.incorporated_ids.add(action_id)
+        self.trace.record_initial(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action_id,
+            kind="half_split",
+            params=("half_split", separator, sibling_id),
+            version=copy.version,
+            time=self.now,
+        )
+        self.trace.bump("half_splits")
+
+        if growing:
+            parent_id = self._grow_root(
+                proc, copy, separator, sibling_id, placement.member_pids
+            )
+            copy.parent_id = parent_id
+        else:
+            parent_id = copy.parent_id
+
+        sibling = NodeCopy(
+            node_id=sibling_id,
+            level=copy.level,
+            key_range=KeyRange(separator, old_high),
+            pc_pid=placement.pc_pid,
+            copy_versions=placement.copy_versions(),
+            capacity=self.capacity,
+            right_id=old_right,
+            left_id=copy.node_id if self.protocol.maintain_left_links else None,
+            parent_id=parent_id,
+            version=copy.version + 1,
+        )
+        for key, payload in upper:
+            sibling.insert_entry(key, payload)
+        self.learn_location(proc, sibling_id, placement.member_pids, sibling.version)
+
+        remote_members = [p for p in placement.member_pids if p != proc.pid]
+        if proc.pid in placement.member_pids:
+            self._install_direct(proc, sibling, frozenset(), "sibling")
+            snap_source = sibling
+        else:
+            snap_source = sibling
+        if remote_members:
+            snapshot = self.make_snapshot(proc, snap_source, birth_set=frozenset())
+            for pid in remote_members:
+                self.kernel.route(proc.pid, pid, CreateCopy(snapshot, "sibling"))
+
+        if not growing:
+            parent_action_id = self.trace.new_action_id()
+            parent_insert = InsertAction(
+                node_id=parent_id,
+                level=copy.level + 1,
+                key=separator,
+                payload=sibling_id,
+                mode=Mode.INITIAL,
+                action_id=parent_action_id,
+                payload_pids=placement.member_pids,
+            )
+            self.route_to_node(
+                proc, parent_id, parent_insert, level=copy.level + 1, key=separator
+            )
+
+        if self.protocol.maintain_left_links and old_right is not None:
+            if old_high is POS_INF:
+                raise RuntimeError(
+                    f"node {copy.node_id} has a right sibling but high=+inf"
+                )
+            link = LinkChange(
+                node_id=old_right,
+                level=copy.level,
+                key=old_high,
+                slot="left",
+                target_id=sibling_id,
+                target_pids=placement.member_pids,
+                version=sibling.version,
+                action_id=self.trace.new_action_id(),
+                mode=Mode.INITIAL,
+            )
+            self.route_link_change(proc, link)
+
+        return SplitResult(
+            action_id=action_id,
+            separator=separator,
+            sibling_id=sibling_id,
+            sibling_pids=placement.member_pids,
+            parent_id=parent_id,
+            sibling_version=sibling.version,
+        )
+
+    def _grow_root(
+        self,
+        proc: Processor,
+        old_root: NodeCopy,
+        separator: Key,
+        sibling_id: int,
+        sibling_pids: tuple[int, ...],
+    ) -> int:
+        """Root growth: build a new root over the split old root."""
+        new_root_id = self._alloc_node_id()
+        level = old_root.level + 1
+        placement = self.policy.place(
+            level, proc.pid, self.kernel.pids, True, self.kernel.rng
+        )
+        members = placement.member_pids
+
+        def build() -> NodeCopy:
+            root = NodeCopy(
+                node_id=new_root_id,
+                level=level,
+                key_range=KeyRange.full(),
+                pc_pid=placement.pc_pid,
+                copy_versions=placement.copy_versions(),
+                capacity=self.capacity,
+            )
+            root.insert_entry(root.range.low, old_root.node_id)
+            root.insert_entry(separator, sibling_id)
+            return root
+
+        local_root = build()
+        self.learn_location(proc, new_root_id, members)
+        if proc.pid in members:
+            self._install_direct(proc, local_root, frozenset(), "root")
+        snapshot = self.make_snapshot(proc, local_root, birth_set=frozenset())
+        # Make sure the snapshot carries both children's locations.
+        child_locations = dict(snapshot.child_locations)
+        child_locations[old_root.node_id] = old_root.copy_pids
+        child_locations[sibling_id] = sibling_pids
+        snapshot = replace(
+            snapshot, child_locations=tuple(child_locations.items())
+        )
+        for pid in members:
+            if pid != proc.pid:
+                self.kernel.route(proc.pid, pid, CreateCopy(snapshot, "root"))
+        announce = SetRoot(
+            root_id=new_root_id,
+            root_level=level,
+            root_pids=members,
+            version=level,
+        )
+        for pid in self.kernel.pids:
+            if pid not in members and pid != proc.pid:
+                self.kernel.route(proc.pid, pid, announce)
+        if proc.pid in members:
+            proc.state["root_id"] = new_root_id
+            proc.state["root_level"] = level
+        else:
+            self._on_set_root(proc, announce)
+        self.trace.bump("root_growths")
+        return new_root_id
+
+    # ------------------------------------------------------------------
+    # whole-tree inspection (verification support; not part of the
+    # distributed protocol -- reads global simulation state)
+    # ------------------------------------------------------------------
+    def all_copies(self) -> list[NodeCopy]:
+        return [
+            copy
+            for proc in self.kernel.processors.values()
+            for copy in self.store(proc).values()
+        ]
+
+    def copies_of(self, node_id: int) -> list[NodeCopy]:
+        return [c for c in self.all_copies() if c.node_id == node_id]
+
+    def leaves(self) -> list[NodeCopy]:
+        return [c for c in self.all_copies() if c.is_leaf]
+
+    def current_root_level(self) -> int:
+        return max(proc.state["root_level"] for proc in self.kernel.processors.values())

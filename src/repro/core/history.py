@@ -1,0 +1,383 @@
+"""The Section 3 correctness formalism, executable.
+
+The paper models the value of a copy by its *history*: an initial
+value plus a totally ordered sequence of actions.  Correctness of a
+replica-maintenance algorithm is phrased as three requirements over
+histories (compatible, complete, ordered).  This module implements
+that formalism directly so that:
+
+* unit tests can state the paper's commutativity taxonomy (Section
+  4.1, items 1-4) as executable assertions,
+* property-based tests can generate random histories and check the
+  algebra (backwards extension preserves value, compatibility is an
+  equivalence on valid same-update histories, ...),
+* the protocol engine's trace-based checkers
+  (:mod:`repro.verify.checker`) have a precise reference for what
+  they approximate mechanically at scale.
+
+The formalism is parameterised by an :class:`ActionSemantics`: how an
+action transforms a value and which subsequent actions it issues.
+:class:`SimpleNodeSemantics` is the reference instance -- a miniature
+B-link node (key set + range + right pointer) with initial/relayed
+inserts and half-splits, matching the paper's running example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Iterable, Protocol, Sequence
+
+from repro.core.actions import Mode
+from repro.core.keys import Bound, KeyRange
+
+
+@dataclass(frozen=True)
+class HAction:
+    """An action instance in a history.
+
+    ``name`` is the action type ("insert", "half_split", ...),
+    ``param`` its parameter, ``mode`` initial vs relayed, and
+    ``action_id`` the globally unique id identifying the *logical*
+    update (an initial action and its relays share the id).
+    """
+
+    name: str
+    param: Hashable
+    mode: Mode
+    action_id: int
+
+    def uniform(self) -> tuple[str, Hashable, int]:
+        """The action with the initial/relayed distinction removed."""
+        return (self.name, self.param, self.action_id)
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """Outcome of applying a valid action: new value + subsequent set."""
+
+    value: Hashable
+    subsequent: frozenset
+
+
+class ActionSemantics(Protocol):
+    """How actions transform values; ``None`` marks an invalid action."""
+
+    def apply(self, value: Hashable, action: HAction) -> ApplyResult | None:
+        ...
+
+    def is_update(self, action: HAction) -> bool:
+        """Whether the action can change a value (paper: update action)."""
+        ...
+
+
+class InvalidHistoryError(ValueError):
+    """A history contained an action invalid on the running value."""
+
+
+@dataclass(frozen=True)
+class History:
+    """An initial value and a totally ordered action sequence."""
+
+    initial_value: Hashable
+    actions: tuple[HAction, ...] = ()
+
+    @classmethod
+    def of(cls, initial_value: Hashable, actions: Iterable[HAction]) -> "History":
+        return cls(initial_value=initial_value, actions=tuple(actions))
+
+    def append(self, action: HAction) -> "History":
+        return replace(self, actions=self.actions + (action,))
+
+    def replay(self, semantics: ActionSemantics) -> tuple[Hashable, list[frozenset]]:
+        """Replay the history; return (final value, per-action SAs).
+
+        Raises :class:`InvalidHistoryError` at the first invalid
+        action (the paper: a history is valid iff every action is
+        valid on the value produced by its prefix).
+        """
+        value = self.initial_value
+        subsequents: list[frozenset] = []
+        for index, action in enumerate(self.actions):
+            result = semantics.apply(value, action)
+            if result is None:
+                raise InvalidHistoryError(
+                    f"action #{index} {action} invalid on value {value!r}"
+                )
+            value = result.value
+            subsequents.append(result.subsequent)
+        return value, subsequents
+
+    def is_valid(self, semantics: ActionSemantics) -> bool:
+        try:
+            self.replay(semantics)
+        except InvalidHistoryError:
+            return False
+        return True
+
+    def final_value(self, semantics: ActionSemantics) -> Hashable:
+        value, _subsequents = self.replay(semantics)
+        return value
+
+    def update_actions(self, semantics: ActionSemantics) -> tuple[HAction, ...]:
+        """The update history: non-update actions deleted, order kept."""
+        return tuple(a for a in self.actions if semantics.is_update(a))
+
+    def uniform_updates(self, semantics: ActionSemantics) -> Counter:
+        """Multiset of uniform update actions (paper: U(H))."""
+        return Counter(a.uniform() for a in self.update_actions(semantics))
+
+    def backwards_extend(self, prefix: "History", semantics: ActionSemantics) -> "History":
+        """The backwards extension of this history by ``prefix``.
+
+        Requires that replaying ``prefix`` yields this history's
+        initial value (paper, Section 3.1); the result has the same
+        final value as this history.
+        """
+        prefix_final = prefix.final_value(semantics)
+        if prefix_final != self.initial_value:
+            raise ValueError(
+                f"prefix final value {prefix_final!r} does not match "
+                f"initial value {self.initial_value!r}"
+            )
+        return History(
+            initial_value=prefix.initial_value,
+            actions=prefix.actions + self.actions,
+        )
+
+
+def compatible(h1: History, h2: History, semantics: ActionSemantics) -> bool:
+    """Paper Section 3.1: valid, same final value, same uniform updates."""
+    try:
+        final1, _ = h1.replay(semantics)
+        final2, _ = h2.replay(semantics)
+    except InvalidHistoryError:
+        return False
+    if final1 != final2:
+        return False
+    return h1.uniform_updates(semantics) == h2.uniform_updates(semantics)
+
+
+def commutes(
+    value: Hashable,
+    first: HAction,
+    second: HAction,
+    semantics: ActionSemantics,
+) -> bool:
+    """Whether two actions commute on ``value``.
+
+    Both orders must be valid, reach the same final value, and issue
+    the same combined subsequent-action sets.  (The paper's item 4 --
+    initial half-splits versus relayed inserts -- fails exactly on the
+    subsequent-action comparison: the sibling's original value
+    differs.)
+    """
+    order_a = _apply_pair(value, first, second, semantics)
+    order_b = _apply_pair(value, second, first, semantics)
+    if order_a is None or order_b is None:
+        return False
+    value_a, subsequent_a = order_a
+    value_b, subsequent_b = order_b
+    return value_a == value_b and subsequent_a == subsequent_b
+
+
+def _apply_pair(
+    value: Hashable, first: HAction, second: HAction, semantics: ActionSemantics
+) -> tuple[Hashable, Counter] | None:
+    result1 = semantics.apply(value, first)
+    if result1 is None:
+        return None
+    result2 = semantics.apply(result1.value, second)
+    if result2 is None:
+        return None
+    combined = Counter(result1.subsequent) + Counter(result2.subsequent)
+    return result2.value, combined
+
+
+def find_compatible_rearrangement(
+    target: History,
+    reference: History,
+    semantics: ActionSemantics,
+    max_actions: int = 8,
+) -> History | None:
+    """Search for the rearrangement Theorem 2's argument requires.
+
+    The compatible-history requirement (Section 3.1) asks that every
+    copy's history can be rearranged into H* such that (a) H* is
+    valid, (b) the uniform histories of all copies are *equal as
+    sequences*, and (c) no subsequent action is "posthumously issued
+    or withdrawn" -- each action in H* must produce exactly the
+    subsequent-action set it originally produced.
+
+    This exhaustive search decides that for small histories: permute
+    ``target``, demand validity, the same final value and uniform
+    update *sequence* as ``reference``, and per-action subsequent
+    sets identical to ``target``'s original replay.  Returns the
+    first qualifying permutation or ``None`` -- and ``None`` on the
+    paper's out-of-range scenario is exactly why the semi-synchronous
+    protocol must issue a corrective insert rather than reorder.
+
+    Exponential by nature, guarded by ``max_actions``; meant for unit
+    tests and counterexample exploration, not for traces.
+    """
+    from itertools import permutations
+
+    if len(target.actions) > max_actions:
+        raise ValueError(
+            f"history too long for exhaustive search "
+            f"({len(target.actions)} > {max_actions})"
+        )
+    reference_final, _ = reference.replay(semantics)
+    reference_sequence = [
+        a.uniform() for a in reference.update_actions(semantics)
+    ]
+    _target_final, original_subsequents = target.replay(semantics)
+    original_by_action = dict(zip(target.actions, original_subsequents))
+    for ordering in permutations(target.actions):
+        candidate = History(initial_value=target.initial_value, actions=ordering)
+        try:
+            final, subsequents = candidate.replay(semantics)
+        except InvalidHistoryError:
+            continue
+        if final != reference_final:
+            continue
+        sequence = [
+            a.uniform() for a in candidate.update_actions(semantics)
+        ]
+        if sequence != reference_sequence:
+            continue
+        if any(
+            issued != original_by_action[action]
+            for action, issued in zip(ordering, subsequents)
+        ):
+            continue
+        return candidate
+    return None
+
+
+def is_ordered(
+    history: Sequence[HAction],
+    in_class: "OrderClassFn",
+    order_key: "OrderKeyFn",
+) -> bool:
+    """Paper's ordered-history check for one ordered class.
+
+    ``in_class`` selects the actions belonging to the ordered class;
+    ``order_key`` gives their required total order (e.g. version
+    number).  The history is ordered iff the class members appear in
+    non-decreasing order.
+    """
+    last = None
+    for action in history:
+        if not in_class(action):
+            continue
+        key = order_key(action)
+        if last is not None and key < last:
+            return False
+        last = key
+    return True
+
+
+class OrderClassFn(Protocol):
+    def __call__(self, action: HAction) -> bool: ...
+
+
+class OrderKeyFn(Protocol):
+    def __call__(self, action: HAction) -> Any: ...
+
+
+# ----------------------------------------------------------------------
+# Reference semantics: a miniature B-link node
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimpleNode:
+    """Value of the reference node: key set, range, right pointer."""
+
+    low: Bound
+    high: Bound
+    keys: frozenset
+    right_id: int | None = None
+
+    @property
+    def range(self) -> KeyRange:
+        return KeyRange(self.low, self.high)
+
+
+class SimpleNodeSemantics:
+    """The paper's running example as executable semantics.
+
+    Actions (params in parentheses):
+
+    * ``insert`` (key) -- INITIAL: valid iff key in range; adds the
+      key and issues relays to peers.  RELAYED: always valid; adds the
+      key if in range, otherwise a silent no-op (discard), issuing no
+      subsequent actions (paper, Section 4.1 item 3).
+    * ``half_split`` ((separator, sibling_id)) -- INITIAL: valid iff
+      the separator is strictly inside the range; keeps keys below the
+      separator, sets right to the sibling, and issues subsequent
+      actions that include *creating the sibling with the transferred
+      keys* (which is why initial splits fail to commute with relayed
+      inserts) plus the parent insert and the relayed splits.
+      RELAYED: valid iff separator in range; drops transferred keys
+      and re-points right, issuing nothing.
+    """
+
+    UPDATE_NAMES = frozenset({"insert", "half_split"})
+
+    def is_update(self, action: HAction) -> bool:
+        return action.name in self.UPDATE_NAMES
+
+    def apply(self, value: Hashable, action: HAction) -> ApplyResult | None:
+        if not isinstance(value, SimpleNode):
+            raise TypeError(f"SimpleNodeSemantics needs SimpleNode, got {value!r}")
+        if action.name == "insert":
+            return self._apply_insert(value, action)
+        if action.name == "half_split":
+            return self._apply_half_split(value, action)
+        if action.name == "search":
+            # Non-update: always valid, value untouched; subsequent
+            # action is the lookup outcome.
+            found = action.param in value.keys
+            return ApplyResult(value=value, subsequent=frozenset({("found", found)}))
+        raise ValueError(f"unknown action name {action.name!r}")
+
+    def _apply_insert(self, node: SimpleNode, action: HAction) -> ApplyResult | None:
+        key = action.param
+        in_range = node.range.contains(key)
+        if action.mode is Mode.INITIAL:
+            if not in_range:
+                return None  # invalid at this copy (must route right)
+            return ApplyResult(
+                value=replace(node, keys=node.keys | {key}),
+                subsequent=frozenset({("relay_insert", key, action.action_id)}),
+            )
+        # Relayed insert: no subsequent actions either way.
+        if not in_range:
+            return ApplyResult(value=node, subsequent=frozenset())
+        return ApplyResult(
+            value=replace(node, keys=node.keys | {key}), subsequent=frozenset()
+        )
+
+    def _apply_half_split(
+        self, node: SimpleNode, action: HAction
+    ) -> ApplyResult | None:
+        separator, sibling_id = action.param
+        inside = node.range.contains(separator) and separator != node.low
+        if not inside:
+            return None
+        kept = frozenset(k for k in node.keys if k < separator)
+        moved = frozenset(k for k in node.keys if not (k < separator))
+        new_value = SimpleNode(
+            low=node.low, high=separator, keys=kept, right_id=sibling_id
+        )
+        if action.mode is Mode.INITIAL:
+            subsequent = frozenset(
+                {
+                    ("create_sibling", sibling_id, moved),
+                    ("insert_parent", separator, sibling_id),
+                    ("relay_split", separator, sibling_id, action.action_id),
+                }
+            )
+        else:
+            subsequent = frozenset()
+        return ApplyResult(value=new_value, subsequent=subsequent)

@@ -1,0 +1,177 @@
+"""Replication policies: which processors hold copies of a new node.
+
+The dB-tree replication rule (paper, Section 1.1): *"the root is
+stored everywhere, the leaves at a single processor, and the
+intermediate nodes at a moderate level of replication"*, derived from
+"if a processor stores a leaf node, it stores every node on the path
+from the root to that leaf".
+
+A policy decides the *initial* copy set (and primary copy) of a newly
+created node.  Under the fixed-copies protocols this set never
+changes; under the variable-copies protocol join/unjoin adjusts it
+afterwards, so the policy only seeds the structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A chosen copy set: primary-copy pid plus all member pids."""
+
+    pc_pid: int
+    member_pids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.pc_pid not in self.member_pids:
+            raise ValueError(
+                f"primary copy {self.pc_pid} not in member set {self.member_pids}"
+            )
+
+    def copy_versions(self) -> dict[int, int]:
+        """Initial per-member join versions (all zero at creation)."""
+        return {pid: 0 for pid in self.member_pids}
+
+
+class ReplicationPolicy:
+    """Base policy: full replication (every node everywhere).
+
+    Subclasses override :meth:`place`.  ``creator_pid`` is always a
+    member and is the primary copy unless the subclass decides
+    otherwise.
+    """
+
+    def place(
+        self,
+        level: int,
+        creator_pid: int,
+        all_pids: Sequence[int],
+        is_root: bool,
+        rng: random.Random,
+    ) -> Placement:
+        return Placement(pc_pid=creator_pid, member_pids=tuple(sorted(all_pids)))
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FullReplication(ReplicationPolicy):
+    """Every node replicated on every processor (small demos only)."""
+
+
+class SingleCopy(ReplicationPolicy):
+    """Every node lives only on its creator.
+
+    With ``pin_to`` set, every node (including the root) lives on that
+    one processor -- the unreplicated-root baseline of experiment C1.
+    """
+
+    def __init__(self, pin_to: int | None = None) -> None:
+        self._pin_to = pin_to
+
+    def place(
+        self,
+        level: int,
+        creator_pid: int,
+        all_pids: Sequence[int],
+        is_root: bool,
+        rng: random.Random,
+    ) -> Placement:
+        pid = self._pin_to if self._pin_to is not None else creator_pid
+        return Placement(pc_pid=pid, member_pids=(pid,))
+
+    def describe(self) -> str:
+        if self._pin_to is None:
+            return "SingleCopy(creator)"
+        return f"SingleCopy(pin_to={self._pin_to})"
+
+
+class FixedFactor(ReplicationPolicy):
+    """Exactly ``k`` copies: the creator plus the next k-1 processors.
+
+    Deterministic wrap-around placement keeps experiments replayable
+    while still spreading copy groups across the cluster.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"replication factor must be >= 1, got {k}")
+        self.k = k
+
+    def place(
+        self,
+        level: int,
+        creator_pid: int,
+        all_pids: Sequence[int],
+        is_root: bool,
+        rng: random.Random,
+    ) -> Placement:
+        ordered = sorted(all_pids)
+        start = ordered.index(creator_pid)
+        take = min(self.k, len(ordered))
+        members = tuple(
+            sorted(ordered[(start + offset) % len(ordered)] for offset in range(take))
+        )
+        return Placement(pc_pid=creator_pid, member_pids=members)
+
+    def describe(self) -> str:
+        return f"FixedFactor(k={self.k})"
+
+
+class PerLevel(ReplicationPolicy):
+    """Level-dependent replication factor; the dB-tree shape.
+
+    ``factors`` maps tree level to copy count (level 0 = leaves); the
+    root is always replicated everywhere regardless of level.  Levels
+    missing from the map use ``default_factor``; ``None`` means "all
+    processors".
+    """
+
+    def __init__(
+        self,
+        factors: dict[int, int | None] | None = None,
+        default_factor: int | None = None,
+    ) -> None:
+        self.factors = dict(factors or {})
+        self.default_factor = default_factor
+
+    @classmethod
+    def dbtree_default(cls, num_processors: int) -> "PerLevel":
+        """Root everywhere, leaves single, interior growing with level.
+
+        Level ``h`` interior nodes get ``min(P, 2 * 4**h)`` copies --
+        a moderate level of replication that widens toward the root,
+        matching Figure 2's shape.
+        """
+        factors: dict[int, int | None] = {0: 1}
+        for level in range(1, 12):
+            factors[level] = min(num_processors, 2 * 4**level)
+        return cls(factors=factors, default_factor=None)
+
+    def place(
+        self,
+        level: int,
+        creator_pid: int,
+        all_pids: Sequence[int],
+        is_root: bool,
+        rng: random.Random,
+    ) -> Placement:
+        ordered = sorted(all_pids)
+        if is_root:
+            return Placement(pc_pid=creator_pid, member_pids=tuple(ordered))
+        factor = self.factors.get(level, self.default_factor)
+        if factor is None:
+            return Placement(pc_pid=creator_pid, member_pids=tuple(ordered))
+        take = min(max(factor, 1), len(ordered))
+        start = ordered.index(creator_pid)
+        members = tuple(
+            sorted(ordered[(start + offset) % len(ordered)] for offset in range(take))
+        )
+        return Placement(pc_pid=creator_pid, member_pids=members)
+
+    def describe(self) -> str:
+        return f"PerLevel(factors={self.factors}, default={self.default_factor})"

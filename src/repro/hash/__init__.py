@@ -1,0 +1,31 @@
+"""Lazy updates applied to a distributed hash table.
+
+The paper's closing agenda (Section 5): *"We will apply lazy updates
+to other distributed data structures, such as hash tables"* (citing
+Ellis's distributed extendible hashing).  This package carries the
+paper's recipe over:
+
+* **buckets** are the unreplicated data nodes (like dB-tree leaves),
+  distributed round-robin across processors;
+* each processor holds a **directory replica** (like the replicated
+  interior of the dB-tree) mapping hash prefixes to buckets;
+* a bucket split issues **lazy directory updates** -- relayed
+  asynchronously, applied only if *deeper* than what a replica
+  already knows (depth is the version number: the ordered action
+  class, exactly like the dB-tree's link-changes);
+* a misdirected operation (stale directory) recovers by **forwarding
+  along the bucket's split links** -- the hash-table analogue of
+  B-link right-pointer recovery -- and triggers a corrective
+  directory update back to the misrouting processor (the classic
+  image-adjustment of lazy replication).
+
+No operation ever blocks, and directory replicas are allowed to be
+stale at any moment; at quiescence they converge.
+
+Public API: :class:`~repro.hash.table.LazyHashTable`.
+"""
+
+from repro.hash.bucket import Bucket, hash_key
+from repro.hash.table import LazyHashTable
+
+__all__ = ["Bucket", "LazyHashTable", "hash_key"]

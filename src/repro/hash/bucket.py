@@ -1,0 +1,139 @@
+"""Buckets: the unreplicated data nodes of the lazy hash table.
+
+A bucket owns the keys whose hash agrees with its ``prefix`` on the
+low ``local_depth`` bits.  When it splits, the keys whose next hash
+bit is 1 move to a new *buddy* bucket and the split is remembered in
+``spawned`` -- the bucket's split links.  A misdirected key (routed
+here by a stale directory) is recovered by walking those links: the
+first spawn position where the key's hash bit is 1 names the buddy
+subtree the key now belongs to.  This is the hash-table analogue of
+the B-link tree's right-pointer recovery and bounds forwarding to at
+most one hop per split the stale replica has missed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+#: Number of hash bits available; effectively unbounded for any
+#: simulated table (2^40 buckets).
+MAX_DEPTH = 40
+
+
+def hash_key(key: Hashable) -> int:
+    """Stable ``MAX_DEPTH``-bit hash of a key (seed-independent).
+
+    Uses blake2b rather than ``hash()`` so runs reproduce across
+    interpreter invocations (PYTHONHASHSEED does not apply).
+    """
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & ((1 << MAX_DEPTH) - 1)
+
+
+@dataclass(frozen=True)
+class SpawnLink:
+    """One split in a bucket's history: who took the 1-branch."""
+
+    bit: int  # the hash-bit position decided by this split
+    buddy_id: int
+    buddy_pid: int
+
+
+@dataclass
+class Bucket:
+    """One hash bucket; single copy, lives on one processor."""
+
+    bucket_id: int
+    prefix: int
+    local_depth: int
+    capacity: int
+    home_pid: int
+    entries: dict = field(default_factory=dict)
+    spawned: list[SpawnLink] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"bucket capacity must be >= 1, got {self.capacity}")
+        if self.local_depth < 0 or self.local_depth > MAX_DEPTH:
+            raise ValueError(f"bad local depth {self.local_depth}")
+
+    # ------------------------------------------------------------------
+    def owns(self, hashed: int) -> bool:
+        """Whether this bucket currently covers a hash value."""
+        mask = (1 << self.local_depth) - 1
+        if (hashed & mask) != self.prefix:
+            return False
+        # Even with matching current prefix the key may belong to a
+        # spawned buddy if a deeper split moved it -- but a deeper
+        # split would have extended local_depth, so prefix match at
+        # local_depth is authoritative.
+        return True
+
+    def forward_target(self, hashed: int) -> SpawnLink | None:
+        """The split link a misdirected key should follow.
+
+        Walk the spawn history in split order; the first decided bit
+        where the key's hash has a 1 names the buddy subtree that
+        took the key.  ``None`` means the key belongs here.
+        """
+        for link in self.spawned:
+            if hashed & (1 << link.bit):
+                return link
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_overfull(self) -> bool:
+        return len(self.entries) > self.capacity
+
+    def insert(self, key: Hashable, value: Any) -> bool:
+        """Insert/overwrite; True if the key is new."""
+        is_new = key not in self.entries
+        self.entries[key] = value
+        return is_new
+
+    def delete(self, key: Hashable) -> bool:
+        return self.entries.pop(key, _MISSING) is not _MISSING
+
+    def lookup(self, key: Hashable) -> Any:
+        return self.entries.get(key)
+
+    # ------------------------------------------------------------------
+    def split(self, buddy_id: int, buddy_pid: int) -> "Bucket":
+        """Split this bucket; returns the new buddy.
+
+        Keys whose hash bit ``local_depth`` is 1 move to the buddy;
+        both buckets deepen by one bit and the split is recorded as a
+        spawn link for future misdirection recovery.
+        """
+        if self.local_depth >= MAX_DEPTH:
+            raise RuntimeError(f"bucket {self.bucket_id} at max depth")
+        bit = self.local_depth
+        buddy = Bucket(
+            bucket_id=buddy_id,
+            prefix=self.prefix | (1 << bit),
+            local_depth=bit + 1,
+            capacity=self.capacity,
+            home_pid=buddy_pid,
+        )
+        keep: dict = {}
+        for key, value in self.entries.items():
+            if hash_key(key) & (1 << bit):
+                buddy.entries[key] = value
+            else:
+                keep[key] = value
+        self.entries = keep
+        self.local_depth = bit + 1
+        self.spawned.append(
+            SpawnLink(bit=bit, buddy_id=buddy_id, buddy_pid=buddy_pid)
+        )
+        return buddy
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

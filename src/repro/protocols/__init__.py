@@ -1,0 +1,57 @@
+"""Replica-maintenance protocols for the dB-tree.
+
+One module per algorithm in the paper's Section 4, plus the Figure 4
+strawman:
+
+* :mod:`repro.protocols.fixed_sync` -- synchronous splits (4.1.1):
+  an AAS blocks initial inserts while a split executes; ~3|copies|
+  coordination messages per split.
+* :mod:`repro.protocols.fixed_semisync` -- semi-synchronous splits
+  (4.1.2): history rewriting; never blocks inserts; |copies|
+  coordination messages per split (optimal).
+* :mod:`repro.protocols.fixed_naive` -- the lost-insert strawman of
+  Figure 4 (discards out-of-range relayed inserts); deliberately
+  incorrect, used to demonstrate the problem the paper solves.
+* :mod:`repro.protocols.mobile` -- single-copy mobile nodes (4.2):
+  migration, version-ordered link-changes, missing-node recovery.
+* :mod:`repro.protocols.variable` -- variable copies (4.3): the full
+  dB-tree with join/unjoin, path replication, and leaf migration.
+"""
+
+from repro.protocols.base import Protocol
+from repro.protocols.fixed_naive import NaiveProtocol
+from repro.protocols.fixed_semisync import SemiSyncProtocol
+from repro.protocols.fixed_sync import SyncProtocol
+from repro.protocols.mobile import MobileProtocol
+from repro.protocols.variable import VariableCopiesProtocol
+
+PROTOCOLS = {
+    "sync": SyncProtocol,
+    "semisync": SemiSyncProtocol,
+    "naive": NaiveProtocol,
+    "mobile": MobileProtocol,
+    "variable": VariableCopiesProtocol,
+}
+
+
+def make_protocol(name: str) -> Protocol:
+    """Instantiate a protocol by its short name."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "Protocol",
+    "SyncProtocol",
+    "SemiSyncProtocol",
+    "NaiveProtocol",
+    "MobileProtocol",
+    "VariableCopiesProtocol",
+    "PROTOCOLS",
+    "make_protocol",
+]

@@ -1,0 +1,366 @@
+"""The protocol strategy interface and shared lazy-update machinery.
+
+The engine (:mod:`repro.core.dbtree`) owns navigation, routing, and
+split *mechanics*; a :class:`Protocol` owns update *ordering*: how
+initial updates propagate to the other copies and how splits are
+ordered against inserts.  This split of responsibilities mirrors the
+paper: the B-link actions are fixed, only the copy-coherence
+discipline differs between Sections 4.1.1, 4.1.2, 4.2 and 4.3.
+
+:class:`Protocol` also provides the shared lazy-insert machinery
+(perform + relay, idempotent relayed application with action-id
+de-duplication) that the semi-synchronous, naive, synchronous, and
+variable-copies protocols all reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actions import (
+    DeleteAction,
+    InsertAction,
+    Mode,
+    RelayedSplit,
+)
+from repro.core.node import NodeCopy
+from repro.core.replication import Placement
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine, SplitResult
+    from repro.sim.processor import Processor
+
+
+class Protocol:
+    """Base protocol: defines the hooks and the common lazy paths.
+
+    Subclasses must implement :meth:`initiate_split` (the ordering
+    discipline) and may override the insert hooks.  The base class
+    implements the *lazy update* path for inserts and deletes --
+    perform at one copy, relay to the rest, no synchronization --
+    which is exactly right for the semi-synchronous protocol and is
+    specialised by the others.
+    """
+
+    name = "base"
+    #: Whether half-splits maintain left-sibling links (mobile and
+    #: variable-copies protocols need them for link-changes).
+    maintain_left_links = False
+
+    def __init__(self) -> None:
+        self.engine: "DBTreeEngine | None" = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, engine: "DBTreeEngine") -> None:
+        self.engine = engine
+
+    def default_policy(self, num_processors: int):
+        """The replication policy natural to this protocol family.
+
+        Fixed-copies protocols default to full replication (the
+        paper's fixed-copy-set setting); mobility-based protocols
+        override.
+        """
+        from repro.core.replication import FullReplication
+
+        return FullReplication()
+
+    def _engine(self) -> "DBTreeEngine":
+        if self.engine is None:
+            raise RuntimeError(f"protocol {self.name} not bound to an engine")
+        return self.engine
+
+    # ------------------------------------------------------------------
+    # admission control (overridden by the vigorous baseline)
+    # ------------------------------------------------------------------
+    def admits_search(self, proc: "Processor", copy: NodeCopy, action: Any) -> bool:
+        """Whether a search action may execute now; lazy protocols
+        never block searches (paper: 'search actions are never
+        blocked')."""
+        return True
+
+    def admits_initial_update(
+        self, proc: "Processor", copy: NodeCopy, action: Any
+    ) -> bool:
+        """Whether an in-range initial update may execute now.
+
+        The synchronous split protocol defers initial inserts while a
+        split AAS is active; every lazy protocol admits immediately.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # inserts
+    # ------------------------------------------------------------------
+    def initial_insert(
+        self, proc: "Processor", copy: NodeCopy, action: InsertAction
+    ) -> None:
+        """Perform an in-range initial insert at this copy.
+
+        Lazy default: apply locally, relay to every peer copy, answer
+        the client, then check for overflow.  No synchronization.
+        """
+        result = self._perform_initial_keyed(proc, copy, action)
+        self.relay_keyed(proc, copy, action)
+        self._finish_keyed(proc, copy, action, result)
+
+    def relayed_insert(
+        self, proc: "Processor", copy: NodeCopy, action: InsertAction
+    ) -> None:
+        """Apply a relayed insert at this copy.
+
+        In-range: apply idempotently.  Out of range: resolved by
+        :meth:`out_of_range_relay` (protocol-specific -- this is where
+        the semi-synchronous history rewrite lives).
+        """
+        if copy.in_range(action.key):
+            self.apply_relayed_keyed(proc, copy, action)
+            self._after_relayed_insert(proc, copy, action)
+        else:
+            self.out_of_range_relay(proc, copy, action)
+        self.maybe_split(proc, copy)
+
+    def _after_relayed_insert(
+        self, proc: "Processor", copy: NodeCopy, action: InsertAction
+    ) -> None:
+        """Hook after an in-range relayed insert applies (variable
+        protocol re-relays to late joiners here)."""
+
+    def out_of_range_relay(
+        self, proc: "Processor", copy: NodeCopy, action: InsertAction
+    ) -> None:
+        """An out-of-range relayed update arrived at this copy.
+
+        Default (correct for non-PC copies in every fixed-copies
+        protocol): discard -- the key was re-homed by a half-split and
+        the sibling's original value or its own relay covers it.
+        """
+        self._engine().trace.bump(f"discarded_relay_{self.name}")
+
+    # ------------------------------------------------------------------
+    # deletes (never-merge extension; same lazy shape as inserts)
+    # ------------------------------------------------------------------
+    def initial_delete(
+        self, proc: "Processor", copy: NodeCopy, action: DeleteAction
+    ) -> None:
+        result = self._perform_initial_keyed(proc, copy, action)
+        self.relay_keyed(proc, copy, action)
+        self._finish_keyed(proc, copy, action, result)
+
+    def relayed_delete(
+        self, proc: "Processor", copy: NodeCopy, action: DeleteAction
+    ) -> None:
+        if copy.in_range(action.key):
+            self.apply_relayed_keyed(proc, copy, action)
+        else:
+            self.out_of_range_relay(proc, copy, action)
+
+    # ------------------------------------------------------------------
+    # shared mechanics for keyed updates
+    # ------------------------------------------------------------------
+    def _apply_keyed(self, copy: NodeCopy, action: Any) -> Any:
+        """Mutate the copy's value; returns the op result."""
+        if isinstance(action, InsertAction):
+            copy.insert_entry(action.key, action.payload)
+            return True
+        if isinstance(action, DeleteAction):
+            if not copy.is_leaf and action.key == copy.range.low:
+                # The leftmost entry of an interior node is immortal:
+                # deleting it could empty the node and break routing.
+                # The rule is a pure function of (key, node low), so
+                # every copy decides identically in any order -- it
+                # commutes.  The entry keeps pointing at a retired
+                # zombie, whose links forward to the absorber.
+                self._engine().trace.bump("immortal_entry_delete_skipped")
+                return False
+            return copy.delete_entry(action.key)
+        raise TypeError(f"not a keyed update: {action!r}")
+
+    def _perform_initial_keyed(
+        self, proc: "Processor", copy: NodeCopy, action: Any
+    ) -> Any:
+        engine = self._engine()
+        result = self._apply_keyed(copy, action)
+        copy.incorporated_ids.add(action.action_id)
+        engine.trace.record_initial(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind=action.kind.split("_")[0],
+            params=engine.update_params(action),
+            version=copy.version,
+            time=engine.now,
+        )
+        if isinstance(action, InsertAction) and action.payload_pids:
+            engine.learn_location(proc, action.payload, action.payload_pids)
+        return result
+
+    def relay_keyed(self, proc: "Processor", copy: NodeCopy, action: Any) -> int:
+        """Send the relayed form of an initial update to every peer."""
+        engine = self._engine()
+        peers = copy.peers_of(proc.pid)
+        for pid in peers:
+            relayed = replace(
+                action, mode=Mode.RELAYED, op=None, origin_version=copy.version
+            ) if isinstance(action, InsertAction) else replace(
+                action, mode=Mode.RELAYED, op=None
+            )
+            engine.send_relay(proc.pid, pid, relayed)
+        return len(peers)
+
+    def apply_relayed_keyed(
+        self, proc: "Processor", copy: NodeCopy, action: Any
+    ) -> bool:
+        """Apply a relayed update idempotently; False if already known.
+
+        De-duplication by action id makes the variable-copies re-relay
+        (PC forwarding updates to late joiners that may also have
+        received them directly) harmless.
+        """
+        engine = self._engine()
+        if action.action_id in copy.incorporated_ids:
+            engine.trace.bump("duplicate_relay_ignored")
+            return False
+        self._apply_keyed(copy, action)
+        copy.incorporated_ids.add(action.action_id)
+        engine.trace.record_relayed(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind=action.kind.split("_")[0],
+            params=engine.update_params(action),
+            version=copy.version,
+            time=engine.now,
+        )
+        if isinstance(action, InsertAction) and action.payload_pids:
+            engine.learn_location(proc, action.payload, action.payload_pids)
+        return True
+
+    def _finish_keyed(
+        self, proc: "Processor", copy: NodeCopy, action: Any, result: Any = True
+    ) -> None:
+        engine = self._engine()
+        if action.op is not None:
+            engine.complete_op(proc, action.op, result=result)
+        self.maybe_split(proc, copy)
+
+    # ------------------------------------------------------------------
+    # splits
+    # ------------------------------------------------------------------
+    def maybe_split(self, proc: "Processor", copy: NodeCopy) -> None:
+        """Schedule a split when the primary copy detects overflow.
+
+        Non-PC copies never initiate splits (paper, Section 4.1); they
+        accept overflow until the PC's split arrives.
+        """
+        if not copy.is_pc or not copy.is_overfull:
+            return
+        if copy.proto.get("split_scheduled"):
+            return
+        copy.proto["split_scheduled"] = True
+        self._engine().schedule_split(proc, copy.node_id)
+
+    def initiate_split(self, proc: "Processor", copy: NodeCopy) -> None:
+        """Run the protocol's split discipline at the primary copy."""
+        raise NotImplementedError
+
+    def sibling_placement(self, proc: "Processor", copy: NodeCopy) -> Placement:
+        """Where the new sibling's copies live.
+
+        Fixed-copies default: the same copy set as the splitting node
+        (the paper creates all sibling copies at split time); the
+        primary stays with the same processor.
+        """
+        return Placement(pc_pid=copy.pc_pid, member_pids=copy.copy_pids)
+
+    def relay_split(
+        self, proc: "Processor", copy: NodeCopy, split: "SplitResult"
+    ) -> int:
+        """Send relayed half-splits to the peer copies (lazy default)."""
+        engine = self._engine()
+        peers = copy.peers_of(proc.pid)
+        for pid in peers:
+            engine.kernel.route(
+                proc.pid,
+                pid,
+                RelayedSplit(
+                    node_id=copy.node_id,
+                    action_id=split.action_id,
+                    separator=split.separator,
+                    sibling_id=split.sibling_id,
+                    sibling_pids=split.sibling_pids,
+                    new_version=copy.version,
+                    parent_hint=copy.parent_id,
+                ),
+            )
+        return len(peers)
+
+    def apply_relayed_split(
+        self, proc: "Processor", copy: NodeCopy, action: RelayedSplit
+    ) -> None:
+        """Apply a relayed half-split at a non-PC copy."""
+        engine = self._engine()
+        if action.action_id in copy.incorporated_ids:
+            engine.trace.bump("duplicate_relay_ignored")
+            return
+        if not copy.range.contains(action.separator):
+            # Can only happen under fault injection (reordering); the
+            # counter lets the A2 ablation observe it.
+            engine.trace.bump("relayed_split_out_of_range")
+            return
+        copy.apply_half_split(action.separator, action.sibling_id)
+        if action.parent_hint is not None:
+            copy.parent_id = action.parent_hint
+        copy.incorporated_ids.add(action.action_id)
+        engine.learn_location(proc, action.sibling_id, action.sibling_pids)
+        engine.trace.record_relayed(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind="half_split",
+            params=("half_split", action.separator, action.sibling_id),
+            version=copy.version,
+            time=engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    # protocol-specific messages
+    # ------------------------------------------------------------------
+    def handle(self, proc: "Processor", action: Any) -> bool:
+        """Handle a protocol-specific message; True if consumed.
+
+        The engine forwards split-control, join/unjoin, and migration
+        messages here.  The base understands only relayed splits.
+        """
+        if isinstance(action, RelayedSplit):
+            copy = self._engine().copy_at(proc, action.node_id)
+            if copy is None:
+                self._engine().trace.bump("relay_to_missing_copy")
+            else:
+                self.apply_relayed_split(proc, copy, action)
+                self.maybe_split(proc, copy)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # mobility hooks (mobile / variable protocols only)
+    # ------------------------------------------------------------------
+    def migrate(self, proc: "Processor", copy: NodeCopy, to_pid: int) -> None:
+        raise NotImplementedError(f"protocol {self.name} does not support migration")
+
+    def after_copy_installed(
+        self, proc: "Processor", copy: NodeCopy, reason: str
+    ) -> None:
+        """Hook after a CreateCopy installs a copy on this processor."""
+
+    def on_relay_to_missing(self, proc: "Processor", action: Any) -> None:
+        """Hook: a relayed update arrived for a copy we do not hold.
+
+        Default: nothing (the drop is correct for unjoined copies).
+        The variable-copies protocol overrides this to heal lost
+        copies by re-joining (fault-tolerant lazy updates, the
+        paper's Section 5 agenda).
+        """

@@ -1,0 +1,183 @@
+"""Synchronous splits (paper, Section 4.1.1).
+
+The conservative fixed-copies protocol: splits execute under an
+atomic action sequence (AAS) so that splits and initial inserts are
+ordered the same way at the primary copy and at every other copy.
+
+Per split the PC pays three message rounds to the |copies| - 1 peers
+-- split_start, acknowledgement, split_end (~3|copies| messages) --
+and initial inserts are *blocked* at every copy for the duration.
+Relayed inserts and searches are never blocked (the paper is explicit
+that even this protocol keeps reads wait-free).
+
+This protocol exists as the paper's own comparison point for the
+semi-synchronous protocol; experiments F5 and C4 measure the message
+and blocking overhead against it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.aas import AAS, AASRegistry
+from repro.core.actions import SplitAck, SplitEnd, SplitStart
+from repro.core.node import NodeCopy
+from repro.protocols.base import Protocol
+
+if TYPE_CHECKING:
+    from repro.sim.processor import Processor
+
+
+class SyncProtocol(Protocol):
+    """AAS-based split protocol: blocks initial inserts during splits."""
+
+    name = "sync"
+
+    # ------------------------------------------------------------------
+    # admission: the AAS blocks initial updates, nothing else
+    # ------------------------------------------------------------------
+    def admits_initial_update(
+        self, proc: "Processor", copy: NodeCopy, action: Any
+    ) -> bool:
+        registry = copy.proto.get("aas")
+        if registry is None or not registry.any_active:
+            return True
+        engine = self._engine()
+        registry.defer(action)
+        engine.trace.record_block(action.action_id, engine.now)
+        engine.trace.bump("blocked_initial_updates")
+        return False
+
+    def _registry(self, copy: NodeCopy) -> AASRegistry:
+        registry = copy.proto.get("aas")
+        if registry is None:
+            registry = AASRegistry()
+            copy.proto["aas"] = registry
+        return registry
+
+    # ------------------------------------------------------------------
+    # split discipline
+    # ------------------------------------------------------------------
+    def initiate_split(self, proc: "Processor", copy: NodeCopy) -> None:
+        engine = self._engine()
+        if not (copy.is_pc and copy.is_overfull and copy.num_entries >= 2):
+            copy.proto["split_scheduled"] = False
+            return
+        if copy.proto.get("pending_split") is not None:
+            return  # a split AAS is already in flight
+        peers = copy.peers_of(proc.pid)
+        if not peers:
+            # Unreplicated node: no coordination needed.
+            while copy.is_overfull and copy.num_entries >= 2:
+                engine.perform_half_split(proc, copy)
+            copy.proto["split_scheduled"] = False
+            return
+        split_id = engine.trace.new_action_id()
+        registry = self._registry(copy)
+        registry.begin(AAS(aas_id=split_id, name="split", blocks=lambda _a: True))
+        copy.proto["pending_split"] = {"split_id": split_id, "awaiting": set(peers)}
+        engine.trace.bump("split_aas_started")
+        for pid in peers:
+            engine.kernel.route(
+                proc.pid,
+                pid,
+                SplitStart(node_id=copy.node_id, split_id=split_id, pc_pid=proc.pid),
+            )
+
+    def handle(self, proc: "Processor", action: Any) -> bool:
+        if isinstance(action, SplitStart):
+            self._on_split_start(proc, action)
+            return True
+        if isinstance(action, SplitAck):
+            self._on_split_ack(proc, action)
+            return True
+        if isinstance(action, SplitEnd):
+            self._on_split_end(proc, action)
+            return True
+        return super().handle(proc, action)
+
+    # -- non-PC side ---------------------------------------------------
+    def _on_split_start(self, proc: "Processor", action: SplitStart) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            engine.trace.bump("split_control_on_missing_copy")
+            return
+        registry = self._registry(copy)
+        registry.begin(AAS(aas_id=action.split_id, name="split", blocks=lambda _a: True))
+        engine.kernel.route(
+            proc.pid,
+            action.pc_pid,
+            SplitAck(node_id=copy.node_id, split_id=action.split_id, from_pid=proc.pid),
+        )
+
+    def _on_split_end(self, proc: "Processor", action: SplitEnd) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            engine.trace.bump("split_control_on_missing_copy")
+            return
+        if action.action_id not in copy.incorporated_ids:
+            if copy.range.contains(action.separator):
+                copy.apply_half_split(action.separator, action.sibling_id)
+                if action.parent_hint is not None:
+                    copy.parent_id = action.parent_hint
+                copy.incorporated_ids.add(action.action_id)
+                engine.learn_location(proc, action.sibling_id, action.sibling_pids)
+                engine.trace.record_relayed(
+                    node_id=copy.node_id,
+                    pid=proc.pid,
+                    action_id=action.action_id,
+                    kind="half_split",
+                    params=("half_split", action.separator, action.sibling_id),
+                    version=copy.version,
+                    time=engine.now,
+                )
+            else:
+                engine.trace.bump("relayed_split_out_of_range")
+        self._release(proc, copy, action.split_id)
+
+    # -- PC side ---------------------------------------------------------
+    def _on_split_ack(self, proc: "Processor", action: SplitAck) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            engine.trace.bump("split_control_on_missing_copy")
+            return
+        pending = copy.proto.get("pending_split")
+        if pending is None or pending["split_id"] != action.split_id:
+            engine.trace.bump("stray_split_ack")
+            return
+        pending["awaiting"].discard(action.from_pid)
+        if pending["awaiting"]:
+            return
+        # All copies acknowledged: perform the half-split and finish.
+        split = engine.perform_half_split(proc, copy)
+        for pid in copy.peers_of(proc.pid):
+            engine.kernel.route(
+                proc.pid,
+                pid,
+                SplitEnd(
+                    node_id=copy.node_id,
+                    split_id=action.split_id,
+                    action_id=split.action_id,
+                    separator=split.separator,
+                    sibling_id=split.sibling_id,
+                    sibling_pids=split.sibling_pids,
+                    new_version=copy.version,
+                    parent_hint=copy.parent_id,
+                ),
+            )
+        copy.proto["pending_split"] = None
+        copy.proto["split_scheduled"] = False
+        self._release(proc, copy, action.split_id)
+        self.maybe_split(proc, copy)  # may still be overfull
+
+    # -- shared ----------------------------------------------------------
+    def _release(self, proc: "Processor", copy: NodeCopy, split_id: int) -> None:
+        """Finish the AAS at this copy and resume blocked updates."""
+        engine = self._engine()
+        released = self._registry(copy).finish(split_id)
+        for blocked in released:
+            engine.trace.record_unblock(blocked.action_id, engine.now)
+            proc.submit(blocked)

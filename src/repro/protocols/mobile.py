@@ -1,0 +1,145 @@
+"""Single-copy mobile nodes (paper, Section 4.2).
+
+Every node has exactly one copy, but nodes migrate between processors
+(typically for load balancing).  The lazy algorithm:
+
+* **migration** increments the node's version, installs the copy at
+  the destination, leaves a forwarding address behind (an
+  optimization, garbage-collectable at any time), and sends
+  link-change actions to the known neighbours so their locators catch
+  up;
+* **half-splits** place the sibling on the same processor with
+  version + 1, send the insert to the parent and a link-change to the
+  old right neighbour (whose left link now names the sibling);
+* **link-changes** are the *ordered* action class: applied only if
+  the carried version exceeds the slot's stored version, which is how
+  ordered histories are produced lazily (stale changes are discarded
+  -- the history is rewritten);
+* **misnavigated messages** recover exactly like misnavigated B-link
+  operations: re-navigate from a close local node or from the root.
+
+Histories are vacuously compatible (one copy per node); the engine's
+recovery machinery plus the version ordering provide the complete and
+ordered history requirements (paper, Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actions import CreateCopy, LinkChange, MigrateNode, Mode
+from repro.core.node import NodeCopy
+from repro.core.replication import Placement, SingleCopy
+from repro.protocols.base import Protocol
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine
+    from repro.sim.processor import Processor
+
+
+class MigrationMixin:
+    """Shared single-copy migration mechanics (Sections 4.2-4.3)."""
+
+    def migrate_single_copy(
+        self,
+        engine: "DBTreeEngine",
+        proc: "Processor",
+        copy: NodeCopy,
+        to_pid: int,
+        leave_forwarding: bool = True,
+    ) -> None:
+        """Move an unreplicated node to another processor.
+
+        The migration is one atomic action (the paper blocks all
+        actions on the node for its duration; in the simulation model
+        action atomicity gives that for free).
+        """
+        if to_pid == proc.pid:
+            return
+        if copy.peers_of(proc.pid):
+            raise ValueError(
+                f"node {copy.node_id} is replicated; only single-copy "
+                "nodes migrate"
+            )
+        copy.version += 1
+        new_version = copy.version
+        copy.pc_pid = to_pid
+        copy.copy_versions = {to_pid: new_version}
+        snapshot = engine.make_snapshot(proc, copy)
+        engine.kernel.route(proc.pid, to_pid, CreateCopy(snapshot, "migrate"))
+
+        # Tell the neighbours where the node now lives.  Best effort:
+        # a lost/undeliverable link-change only means stale locators,
+        # which operations recover from.
+        for neighbour_id in self._neighbour_ids(copy):
+            engine.route_link_change(
+                proc,
+                LinkChange(
+                    node_id=neighbour_id,
+                    level=-1,  # id-addressed; level unused for routing
+                    key=copy.range.low,
+                    slot="location",
+                    target_id=copy.node_id,
+                    target_pids=(to_pid,),
+                    version=new_version,
+                    action_id=engine.trace.new_action_id(),
+                    mode=Mode.INITIAL,
+                ),
+            )
+
+        del engine.store(proc)[copy.node_id]
+        engine.trace.record_copy_deleted(copy.node_id, proc.pid, engine.now)
+        if leave_forwarding:
+            proc.state["forward"][copy.node_id] = (to_pid, new_version, engine.now)
+        engine.learn_location(proc, copy.node_id, (to_pid,), new_version)
+        engine.trace.bump("migrations")
+
+    @staticmethod
+    def _neighbour_ids(copy: NodeCopy) -> list[int]:
+        neighbours = []
+        for node_id in (copy.left_id, copy.right_id, copy.parent_id):
+            if node_id is not None:
+                neighbours.append(node_id)
+        if not copy.is_leaf:
+            neighbours.extend(child for _key, child in copy.entries())
+        return neighbours
+
+
+class MobileProtocol(MigrationMixin, Protocol):
+    """Section 4.2: unreplicated nodes, lazy migration.
+
+    Inserts and splits are purely local (the base protocol's relay
+    loop is a no-op with no peer copies); the protocol adds migration
+    and the version-ordered link-change handling that the engine
+    applies.
+    """
+
+    name = "mobile"
+    maintain_left_links = True
+
+    def default_policy(self, num_processors: int) -> "SingleCopy":
+        return SingleCopy()
+
+    def sibling_placement(self, proc: "Processor", copy: NodeCopy) -> Placement:
+        """Half-splits place the sibling on the same processor."""
+        return Placement(pc_pid=proc.pid, member_pids=(proc.pid,))
+
+    def initiate_split(self, proc: "Processor", copy: NodeCopy) -> None:
+        engine = self._engine()
+        while copy.is_overfull and copy.num_entries >= 2:
+            engine.perform_half_split(proc, copy)
+        copy.proto["split_scheduled"] = False
+
+    def handle(self, proc: "Processor", action: Any) -> bool:
+        if isinstance(action, MigrateNode):
+            engine = self._engine()
+            copy = engine.copy_at(proc, action.node_id)
+            if copy is None:
+                engine.trace.bump("migrate_on_missing_copy")
+            else:
+                self.migrate(proc, copy, action.to_pid)
+            return True
+        return super().handle(proc, action)
+
+    def migrate(self, proc: "Processor", copy: NodeCopy, to_pid: int) -> None:
+        self.migrate_single_copy(self._engine(), proc, copy, to_pid)

@@ -1,0 +1,620 @@
+"""Variable copies: the full dB-tree (paper, Section 4.3).
+
+This protocol combines the lazy fixed-copies machinery with node
+mobility:
+
+* leaf nodes are unreplicated and **migrate** for data balancing
+  (Section 4.2 mechanics);
+* processors **join** and **unjoin** the replication of interior
+  nodes so the path-replication rule holds lazily: a processor that
+  receives a leaf joins every ancestor it does not yet hold, and a
+  processor whose last leaf under an interior node departs unjoins
+  it;
+* the primary copy registers every join/unjoin, incrementing the
+  node's **version number**; relayed inserts carry the sender's
+  version and the PC *re-relays* them to members that joined at a
+  later version -- closing the Figure 6 race where an insert
+  concurrent with a join would otherwise never reach the new copy;
+* splits use the semi-synchronous discipline (history rewriting at
+  the PC), inherited unchanged.
+
+The primary copy of a node never changes (the paper's standing
+assumption for this algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actions import (
+    AbsorbRequest,
+    CreateCopy,
+    DeleteAction,
+    InsertAction,
+    JoinRequest,
+    JoinRetry,
+    LinkChange,
+    MigrateNode,
+    Mode,
+    RelayedJoin,
+    RelayedUnjoin,
+    UnjoinRequest,
+)
+from repro.core.keys import NEG_INF, KeyRange, key_lt
+from repro.core.node import NodeCopy
+from repro.core.replication import Placement
+from repro.protocols.fixed_semisync import SemiSyncProtocol
+from repro.protocols.mobile import MigrationMixin
+
+if TYPE_CHECKING:
+    from repro.sim.processor import Processor
+
+
+class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
+    """Join/unjoin + leaf migration over semi-synchronous splits.
+
+    With ``free_at_empty=True`` the protocol additionally reclaims
+    empty leaves (the dE-tree direction the paper's Section 5
+    defers): an emptied leaf *retires* -- its range collapses so every
+    arriving action forwards over its links -- asks its left
+    neighbour to absorb the vacated range, and lazily deletes its
+    parent entry.  Retired zombies are garbage-collectable at any
+    time (:meth:`repro.core.dbtree.DBTreeEngine.gc_retired`);
+    in-flight stragglers recover by re-navigation, exactly like
+    forwarding addresses.
+    """
+
+    name = "variable"
+    maintain_left_links = True
+
+    def __init__(self, free_at_empty: bool = False) -> None:
+        super().__init__()
+        self.free_at_empty = free_at_empty
+
+    def default_policy(self, num_processors: int):
+        from repro.core.replication import PerLevel
+
+        return PerLevel.dbtree_default(num_processors)
+
+    # ------------------------------------------------------------------
+    # placement: leaves single-copy, interior siblings inherit the set
+    # ------------------------------------------------------------------
+    def sibling_placement(self, proc: "Processor", copy: NodeCopy) -> Placement:
+        if copy.is_leaf:
+            return Placement(pc_pid=proc.pid, member_pids=(proc.pid,))
+        return Placement(pc_pid=copy.pc_pid, member_pids=copy.copy_pids)
+
+    # ------------------------------------------------------------------
+    # the version-number re-relay (Figure 6 fix)
+    # ------------------------------------------------------------------
+    def _after_relayed_insert(
+        self, proc: "Processor", copy: NodeCopy, action: InsertAction
+    ) -> None:
+        """PC forwards the relayed insert to members the sender missed.
+
+        Paper, Section 4.3: *"The PC then relays the insert action to
+        all copies that joined the replication at a later version than
+        the version attached to the relayed update."*  Receivers
+        de-duplicate by action id, so double delivery is harmless.
+        """
+        if not copy.is_pc:
+            return
+        engine = self._engine()
+        late_joiners = [
+            pid
+            for pid, join_version in copy.copy_versions.items()
+            if join_version > action.origin_version and pid != proc.pid
+        ]
+        for pid in late_joiners:
+            engine.kernel.route(
+                proc.pid, pid, replace(action, origin_version=copy.version)
+            )
+            engine.trace.bump("rerelayed_to_joiners")
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # free-at-empty (dE-tree direction)
+    # ------------------------------------------------------------------
+    def initial_delete(self, proc: "Processor", copy: NodeCopy, action) -> None:
+        super().initial_delete(proc, copy, action)
+        if (
+            self.free_at_empty
+            and copy.is_leaf
+            and copy.num_entries == 0
+            and not copy.retired
+        ):
+            self._retire_leaf(proc, copy)
+
+    def _retire_leaf(self, proc: "Processor", copy: NodeCopy) -> None:
+        """Retire an emptied leaf and hand its range to the left.
+
+        The retirement itself is one atomic local action: the range
+        collapses to empty at its high end, so keys below the old
+        range forward left (to the absorber) and keys at/above the
+        old high forward right, both over existing links.  The absorb
+        request and the parent-entry delete are then lazy messages;
+        FIFO on the leaf->left channel guarantees the absorb is
+        applied before anything this leaf forwards left arrives.
+        """
+        engine = self._engine()
+        if copy.left_id is None:
+            engine.trace.bump("retire_skipped_leftmost")
+            return
+        old_low = copy.range.low
+        old_high = copy.range.high
+        right_id = copy.right_id
+        right_entry = proc.state["locator"].get(right_id) if right_id else None
+        copy.range = KeyRange(old_high, old_high)
+        copy.retired = True
+        copy.proto["retired_at"] = engine.now
+        engine.trace.bump("leaves_retired")
+
+        request = AbsorbRequest(
+            node_id=copy.left_id,
+            old_low=old_low,
+            old_high=old_high,
+            right_id=right_id,
+            right_pids=right_entry[1] if right_entry else (),
+            retired_id=copy.node_id,
+            retired_version=copy.version,
+        )
+        self._route_absorb(proc, request)
+
+        parent_delete = DeleteAction(
+            node_id=copy.parent_id if copy.parent_id is not None else 0,
+            level=copy.level + 1,
+            key=old_low,
+            mode=Mode.INITIAL,
+            action_id=engine.trace.new_action_id(),
+        )
+        engine.route_to_node(
+            proc,
+            parent_delete.node_id,
+            parent_delete,
+            level=copy.level + 1,
+            key=old_low,
+        )
+
+    def _route_absorb(self, proc: "Processor", request: AbsorbRequest) -> None:
+        """Deliver an absorb request to a node, by id (best effort)."""
+        engine = self._engine()
+        if request.node_id in engine.store(proc):
+            proc.submit(request)
+            return
+        pid = engine.locate(proc, request.node_id)
+        if pid is None or pid == proc.pid:
+            # Unroutable: the zombie stays; that is safe (never-merge
+            # behaviour for this one leaf).
+            engine.trace.bump("absorb_unroutable")
+            return
+        engine.kernel.route(proc.pid, pid, request)
+
+    def _on_absorb(self, proc: "Processor", action: AbsorbRequest) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            self._route_absorb(proc, action)
+            return
+        if copy.retired:
+            # Cascaded retirement: pass the request further left.
+            if copy.left_id is None:
+                engine.trace.bump("absorb_unroutable")
+                return
+            self._route_absorb(
+                proc, engine.retarget(action, copy.left_id)
+            )
+            return
+        if copy.range.high == action.old_low:
+            copy.range = KeyRange(copy.range.low, action.old_high)
+            copy.right_id = action.right_id
+            action_id = engine.trace.new_action_id()
+            copy.incorporated_ids.add(action_id)
+            engine.trace.record_initial(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action_id,
+                kind="absorb",
+                params=("absorb", action.old_low, action.old_high),
+                version=copy.version,
+                time=engine.now,
+            )
+            engine.trace.bump("absorbs")
+            if action.right_id is not None:
+                engine.learn_location(proc, action.right_id, action.right_pids)
+                engine.route_link_change(
+                    proc,
+                    LinkChange(
+                        node_id=action.right_id,
+                        level=-1,
+                        key=action.old_high,
+                        slot="left",
+                        target_id=copy.node_id,
+                        target_pids=(proc.pid,),
+                        version=action.retired_version + 1,
+                        action_id=engine.trace.new_action_id(),
+                        mode=Mode.INITIAL,
+                    ),
+                )
+            return
+        if key_lt(action.old_low, copy.range.high):
+            engine.trace.bump("absorb_duplicate_discarded")
+            return
+        # This node split since the retiree recorded its left link;
+        # the true neighbour is further right.
+        if copy.right_id is None:
+            engine.trace.bump("absorb_unroutable")
+            return
+        self._route_absorb(proc, engine.retarget(action, copy.right_id))
+
+    def handle(self, proc: "Processor", action: Any) -> bool:
+        if isinstance(action, AbsorbRequest):
+            self._on_absorb(proc, action)
+            return True
+        if isinstance(action, JoinRequest):
+            self._on_join_request(proc, action)
+            return True
+        if isinstance(action, RelayedJoin):
+            self._on_relayed_join(proc, action)
+            return True
+        if isinstance(action, UnjoinRequest):
+            self._on_unjoin_request(proc, action)
+            return True
+        if isinstance(action, RelayedUnjoin):
+            self._on_relayed_unjoin(proc, action)
+            return True
+        if isinstance(action, JoinRetry):
+            # An exact (healing) join bounced; clear the suppression
+            # so the next missing relay retries.
+            self._clear_pending_join(proc, action.node_id)
+            return True
+        if isinstance(action, MigrateNode):
+            engine = self._engine()
+            copy = engine.copy_at(proc, action.node_id)
+            if copy is None:
+                engine.trace.bump("migrate_on_missing_copy")
+            else:
+                self.migrate(proc, copy, action.to_pid)
+            return True
+        return super().handle(proc, action)
+
+    # ------------------------------------------------------------------
+    # join
+    # ------------------------------------------------------------------
+    def _on_join_request(self, proc: "Processor", action: JoinRequest) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            if action.exact:
+                # Id-addressed (healing): never re-home by key.  Tell
+                # the requester so it can retry on the next relay.
+                engine.trace.bump("exact_join_bounced")
+                retry = JoinRetry(node_id=action.node_id)
+                if action.requester_pid == proc.pid:
+                    proc.submit(retry)
+                else:
+                    engine.kernel.route(proc.pid, action.requester_pid, retry)
+                return
+            engine.handle_missing(proc, action)
+            return
+        if not action.exact and (
+            copy.level != action.level or not copy.in_range(action.key)
+        ):
+            # Key-addressed: re-navigate toward the node now covering
+            # the key at the requested level.
+            engine.step_toward(proc, copy, action)
+            return
+        if not copy.is_pc:
+            engine.kernel.route(
+                proc.pid, copy.pc_pid, engine.retarget(action, copy.node_id)
+            )
+            return
+        self._register_join(proc, copy, action.requester_pid)
+
+    def _register_join(
+        self, proc: "Processor", copy: NodeCopy, requester_pid: int
+    ) -> None:
+        engine = self._engine()
+        if requester_pid == proc.pid:
+            engine.trace.bump("join_already_member")
+            return
+        if requester_pid in copy.copy_versions:
+            # Already a member: either a duplicate request or a member
+            # healing from copy loss.  Resend the current value (no
+            # version bump -- membership is unchanged); an intact
+            # requester ignores the duplicate.
+            engine.trace.bump("join_already_member")
+            snapshot = engine.make_snapshot(proc, copy)
+            engine.kernel.route(proc.pid, requester_pid, CreateCopy(snapshot, "join"))
+            return
+        copy.version += 1
+        join_version = copy.version
+        copy.copy_versions[requester_pid] = join_version
+        action_id = engine.trace.new_action_id()
+        copy.incorporated_ids.add(action_id)
+        engine.trace.record_initial(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action_id,
+            kind="join",
+            params=("join", requester_pid, join_version),
+            version=join_version,
+            time=engine.now,
+        )
+        # The joiner's original value is the PC's current value; its
+        # birth set (backwards extension) is everything the PC has
+        # incorporated, including this join.
+        snapshot = engine.make_snapshot(proc, copy)
+        engine.kernel.route(proc.pid, requester_pid, CreateCopy(snapshot, "join"))
+        for peer in copy.peers_of(proc.pid):
+            if peer == requester_pid:
+                continue
+            engine.kernel.route(
+                proc.pid,
+                peer,
+                RelayedJoin(
+                    node_id=copy.node_id,
+                    action_id=action_id,
+                    new_pid=requester_pid,
+                    join_version=join_version,
+                ),
+            )
+        self._notify_neighbours_location(proc, copy)
+        engine.trace.bump("joins")
+
+    def _on_relayed_join(self, proc: "Processor", action: RelayedJoin) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            engine.trace.bump("relay_to_missing_copy")
+            return
+        if action.action_id in copy.incorporated_ids:
+            engine.trace.bump("duplicate_relay_ignored")
+            return
+        copy.copy_versions[action.new_pid] = action.join_version
+        copy.version = max(copy.version, action.join_version)
+        copy.incorporated_ids.add(action.action_id)
+        engine.trace.record_relayed(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind="join",
+            params=("join", action.new_pid, action.join_version),
+            version=action.join_version,
+            time=engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    # unjoin
+    # ------------------------------------------------------------------
+    def request_unjoin(self, proc: "Processor", copy: NodeCopy) -> None:
+        """This processor leaves the node's replication (local side).
+
+        The copy is deleted immediately; subsequent relayed actions
+        for it are discarded and initial actions recover (both handled
+        by the engine's missing-copy path).  The primary copy never
+        unjoins.
+        """
+        engine = self._engine()
+        if copy.is_pc:
+            raise ValueError(f"primary copy of node {copy.node_id} cannot unjoin")
+        del engine.store(proc)[copy.node_id]
+        engine.trace.record_copy_deleted(copy.node_id, proc.pid, engine.now)
+        # Tombstone: trailing relays from members that have not yet
+        # processed the unjoin must not trigger copy-loss healing.
+        proc.state.setdefault("unjoined", set()).add(copy.node_id)
+        engine.kernel.route(
+            proc.pid,
+            copy.pc_pid,
+            UnjoinRequest(node_id=copy.node_id, leaver_pid=proc.pid),
+        )
+        engine.trace.bump("unjoins_requested")
+
+    def _on_unjoin_request(self, proc: "Processor", action: UnjoinRequest) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None or not copy.is_pc:
+            engine.trace.bump("unjoin_misrouted")
+            return
+        if action.leaver_pid not in copy.copy_versions:
+            engine.trace.bump("unjoin_unknown_member")
+            return
+        copy.version += 1
+        del copy.copy_versions[action.leaver_pid]
+        action_id = engine.trace.new_action_id()
+        copy.incorporated_ids.add(action_id)
+        engine.trace.record_initial(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action_id,
+            kind="unjoin",
+            params=("unjoin", action.leaver_pid, copy.version),
+            version=copy.version,
+            time=engine.now,
+        )
+        for peer in copy.peers_of(proc.pid):
+            engine.kernel.route(
+                proc.pid,
+                peer,
+                RelayedUnjoin(
+                    node_id=copy.node_id,
+                    action_id=action_id,
+                    leaver_pid=action.leaver_pid,
+                    new_version=copy.version,
+                ),
+            )
+        self._notify_neighbours_location(proc, copy)
+        engine.trace.bump("unjoins")
+
+    def _on_relayed_unjoin(self, proc: "Processor", action: RelayedUnjoin) -> None:
+        engine = self._engine()
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            engine.trace.bump("relay_to_missing_copy")
+            return
+        if action.action_id in copy.incorporated_ids:
+            engine.trace.bump("duplicate_relay_ignored")
+            return
+        copy.copy_versions.pop(action.leaver_pid, None)
+        copy.version = max(copy.version, action.new_version)
+        copy.incorporated_ids.add(action.action_id)
+        engine.trace.record_relayed(
+            node_id=copy.node_id,
+            pid=proc.pid,
+            action_id=action.action_id,
+            kind="unjoin",
+            params=("unjoin", action.leaver_pid, action.new_version),
+            version=action.new_version,
+            time=engine.now,
+        )
+
+    def _notify_neighbours_location(self, proc: "Processor", copy: NodeCopy) -> None:
+        """Link-change to the neighbours: the copy set changed."""
+        engine = self._engine()
+        for neighbour_id in (copy.left_id, copy.right_id, copy.parent_id):
+            if neighbour_id is None:
+                continue
+            engine.route_link_change(
+                proc,
+                LinkChange(
+                    node_id=neighbour_id,
+                    level=-1,
+                    key=copy.range.low,
+                    slot="location",
+                    target_id=copy.node_id,
+                    target_pids=copy.copy_pids,
+                    version=copy.version,
+                    action_id=engine.trace.new_action_id(),
+                    mode=Mode.INITIAL,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # leaf migration and lazy path-replication maintenance
+    # ------------------------------------------------------------------
+    def migrate(self, proc: "Processor", copy: NodeCopy, to_pid: int) -> None:
+        """Migrate a leaf to another processor (data balancing).
+
+        After the leaf leaves, ancestors with no remaining local leaf
+        descendants are unjoined (the paper: "applied recursively").
+        """
+        engine = self._engine()
+        if not copy.is_leaf:
+            raise ValueError(
+                f"only leaves migrate in the variable-copies protocol; "
+                f"node {copy.node_id} is level {copy.level}"
+            )
+        if copy.retired:
+            engine.trace.bump("migrate_retired_skipped")
+            return
+        self.migrate_single_copy(engine, proc, copy, to_pid)
+        self._maybe_unjoin_ancestors(proc)
+
+    def after_copy_installed(
+        self, proc: "Processor", copy: NodeCopy, reason: str
+    ) -> None:
+        """Maintain path replication as copies arrive.
+
+        A processor that just received a leaf (migration) or an
+        interior copy (join) joins the parent next, walking up until
+        it reaches a node it already holds; joins chain through this
+        hook.
+        """
+        self._clear_pending_join(proc, copy.node_id)
+        unjoined = proc.state.get("unjoined")
+        if unjoined is not None:
+            unjoined.discard(copy.node_id)
+        if reason not in ("migrate", "join"):
+            return
+        engine = self._engine()
+        parent_id = copy.parent_id
+        if parent_id is None or parent_id in engine.store(proc):
+            return
+        pending = proc.state.setdefault("joining", set())
+        if parent_id in pending:
+            return
+        pending.add(parent_id)
+        key = copy.range.low
+        request = JoinRequest(
+            node_id=parent_id,
+            level=copy.level + 1,
+            key=key,
+            requester_pid=proc.pid,
+        )
+        engine.route_to_node(
+            proc, parent_id, request, level=copy.level + 1, key=key
+        )
+
+    def on_relay_to_missing(self, proc: "Processor", action) -> None:
+        """Heal a lost copy: re-join the node's replication.
+
+        Receiving a relayed keyed update for a node we do not hold
+        means some member still lists us -- we lost the copy (crash /
+        amnesia).  Lazily re-join: the primary resends the current
+        value; relays that raced the heal are covered by the value
+        snapshot plus the version re-relay, exactly like a first-time
+        join.  (Only keyed relays carry the (level, key) needed to
+        route the request; a lost relayed split is healed by the next
+        keyed relay.)
+        """
+        from repro.core.actions import DeleteAction, InsertAction
+
+        if not isinstance(action, (InsertAction, DeleteAction)):
+            return
+        if action.node_id in proc.state.get("unjoined", set()):
+            return  # we left on purpose; the relay is just a straggler
+        engine = self._engine()
+        pending = proc.state.setdefault("joining", set())
+        if action.node_id in pending:
+            return
+        target = engine.locate(proc, action.node_id)
+        if target is None or target == proc.pid:
+            engine.trace.bump("heal_unroutable")
+            return  # retried on the next relay
+        pending.add(action.node_id)
+        request = JoinRequest(
+            node_id=action.node_id,
+            level=action.level,
+            key=action.key,
+            requester_pid=proc.pid,
+            exact=True,
+        )
+        engine.kernel.route(proc.pid, target, request)
+        engine.trace.bump("heal_rejoins_requested")
+
+    def _clear_pending_join(self, proc: "Processor", node_id: int) -> None:
+        pending = proc.state.get("joining")
+        if pending is not None:
+            pending.discard(node_id)
+
+    def _maybe_unjoin_ancestors(self, proc: "Processor") -> None:
+        """Unjoin interior copies with no local leaf descendants.
+
+        A node is an ancestor of a local leaf iff its range contains
+        the leaf's range (ranges at one level partition the key space
+        at quiescence, and ancestor ranges contain descendant ranges).
+        The primary copy and the root never unjoin.
+        """
+        engine = self._engine()
+        store = engine.store(proc)
+        leaves = [c for c in store.values() if c.is_leaf]
+        root_id = proc.state["root_id"]
+        interior = sorted(
+            (c for c in store.values() if not c.is_leaf), key=lambda c: c.level
+        )
+        for copy in interior:
+            if copy.node_id == root_id or copy.parent_id is None:
+                continue
+            if copy.is_pc:
+                continue
+            if any(copy.range.contains_range(leaf.range) for leaf in leaves):
+                continue
+            self.request_unjoin(proc, copy)
+            engine.trace.bump("path_rule_unjoins")
+
+
+# NEG_INF is re-exported for callers computing routing keys for
+# leftmost nodes (their low bound is the valid routing key).
+__all__ = ["VariableCopiesProtocol", "NEG_INF"]

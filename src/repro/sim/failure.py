@@ -1,0 +1,71 @@
+"""Fault injection for the reliability-assumption ablation.
+
+The lazy-update protocols are proved correct under a reliable,
+exactly-once, FIFO network (paper, Section 4).  :class:`FaultPlan`
+lets the A2 ablation experiment selectively break each of those
+guarantees and observe which correctness checks fail, demonstrating
+that the assumption is load-bearing rather than cosmetic.
+
+Fault plans are *off* by default everywhere else in the library.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities of per-message faults.
+
+    ``drop_p``
+        Probability a message is silently lost.
+    ``duplicate_p``
+        Probability a message is delivered twice.
+    ``reorder_p``
+        Probability a message bypasses the per-channel FIFO clamp and
+        is delayed by an extra uniform(0, ``reorder_delay``) units --
+        allowing later messages on the same channel to overtake it.
+    ``only_kinds``
+        If non-empty, faults apply only to messages whose accounting
+        kind is in this set (e.g. target only relayed inserts).
+    """
+
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    reorder_p: float = 0.0
+    reorder_delay: float = 50.0
+    only_kinds: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "duplicate_p", "reorder_p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    def _applies(self, payload: Any) -> bool:
+        if not self.only_kinds:
+            return True
+        kind = getattr(payload, "kind", type(payload).__name__)
+        return kind in self.only_kinds
+
+    def judge(
+        self, src: int, dst: int, payload: Any, rng: random.Random
+    ) -> tuple[tuple[bool, float], ...]:
+        """Decide the fate of one message.
+
+        Returns one (dropped, extra_delay) verdict per delivery
+        attempt; duplicates produce two verdicts.
+        """
+        if not self._applies(payload):
+            return ((False, 0.0),)
+        if self.drop_p and rng.random() < self.drop_p:
+            return ((True, 0.0),)
+        extra = 0.0
+        if self.reorder_p and rng.random() < self.reorder_p:
+            extra = rng.uniform(0.0, self.reorder_delay)
+        if self.duplicate_p and rng.random() < self.duplicate_p:
+            return ((False, extra), (False, 0.0))
+        return ((False, extra),)

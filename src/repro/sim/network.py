@@ -1,0 +1,226 @@
+"""Reliable FIFO network model with message accounting.
+
+The paper's standing assumption (Section 4): *"the network is
+reliable, delivering every message exactly once in order."*  The
+:class:`Network` enforces per-channel FIFO delivery regardless of the
+latency model by never scheduling a delivery earlier than the
+previously scheduled delivery on the same (src, dst) channel.
+
+Every message is counted by *kind* (the class name of the payload, or
+an explicit ``kind`` attribute), which is how the benchmarks measure
+the paper's message-complexity claims (e.g. the semi-synchronous split
+protocol using |copies| messages per split versus ~3|copies| for the
+synchronous protocol).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.sim.events import EventQueue
+
+
+class LatencyModel(Protocol):
+    """Strategy deciding the transit time of a message."""
+
+    def latency(self, src: int, dst: int, rng: random.Random) -> float:
+        """Return the network transit time from ``src`` to ``dst``."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Fixed latency for every remote hop.
+
+    ``jitter`` > 0 adds a uniform random component in [0, jitter);
+    FIFO order is still enforced by the network layer.
+    """
+
+    base: float = 10.0
+    jitter: float = 0.0
+
+    def latency(self, src: int, dst: int, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency:
+    """Heavy-tailed transit times, the shape real networks show.
+
+    ``median`` is the 50th-percentile latency; ``sigma`` controls the
+    tail (0 degenerates to a constant).  Per-channel FIFO is still
+    enforced by the network layer, so a straggler delays everything
+    behind it on its channel -- which is exactly how a FIFO transport
+    behaves.
+    """
+
+    median: float = 10.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be positive, got {self.median}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def latency(self, src: int, dst: int, rng: random.Random) -> float:
+        if self.sigma == 0:
+            return self.median
+        import math
+
+        return self.median * math.exp(rng.gauss(0.0, self.sigma))
+
+
+@dataclass(frozen=True)
+class TopologyLatency:
+    """Latency derived from a per-pair table with a default fallback.
+
+    Useful for modelling clustered processors (cheap intra-rack,
+    expensive inter-rack) in the locality experiments.
+    """
+
+    pairs: dict[tuple[int, int], float]
+    default: float = 10.0
+
+    def latency(self, src: int, dst: int, rng: random.Random) -> float:
+        return self.pairs.get((src, dst), self.default)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate message accounting, reset-able between phases."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    by_channel: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Return a plain-dict copy suitable for reports."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "by_kind": dict(self.by_kind),
+            "by_channel": dict(self.by_channel),
+        }
+
+
+def message_kind(payload: Any) -> str:
+    """The accounting label of a message payload.
+
+    Payloads may expose an explicit ``kind`` attribute (the action
+    classes do); otherwise the class name is used.
+    """
+    kind = getattr(payload, "kind", None)
+    if isinstance(kind, str):
+        return kind
+    return type(payload).__name__
+
+
+class Network:
+    """Reliable, exactly-once, per-channel FIFO message transport.
+
+    Deliveries invoke the ``deliver(dst, payload)`` callback installed
+    by the kernel.  An optional :class:`~repro.sim.failure.FaultPlan`
+    may drop, duplicate, or reorder messages -- used *only* by the
+    ablation experiment that demonstrates the protocols rely on the
+    reliability assumption.
+    """
+
+    def __init__(
+        self,
+        events: EventQueue,
+        latency_model: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        fault_plan: "FaultPlanLike | None" = None,
+    ) -> None:
+        self._events = events
+        self._latency_model = latency_model or UniformLatency()
+        self._rng = rng or random.Random(0)
+        self._fault_plan = fault_plan
+        self._deliver: Callable[[int, Any], None] | None = None
+        # Last *scheduled* delivery time per channel; FIFO enforcement.
+        self._channel_clock: dict[tuple[int, int], float] = {}
+        self.stats = NetworkStats()
+
+    def install_delivery(self, deliver: Callable[[int, Any], None]) -> None:
+        """Install the callback invoked on message arrival."""
+        self._deliver = deliver
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters (e.g. after a warm-up phase)."""
+        self.stats = NetworkStats()
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Send ``payload`` from processor ``src`` to processor ``dst``.
+
+        Local sends (src == dst) are not network messages in the
+        paper's cost model; callers should enqueue locally instead.
+        Sending to self is treated as a bug to keep the accounting
+        honest.
+        """
+        if self._deliver is None:
+            raise RuntimeError("network has no delivery callback installed")
+        if src == dst:
+            raise ValueError(
+                f"processor {src} attempted a network send to itself; "
+                "local actions must be enqueued locally"
+            )
+
+        self.stats.sent += 1
+        self.stats.by_kind[message_kind(payload)] += 1
+        self.stats.by_channel[(src, dst)] += 1
+
+        if self._fault_plan is not None:
+            verdicts = self._fault_plan.judge(src, dst, payload, self._rng)
+        else:
+            verdicts = ((False, 0.0),)
+
+        for dropped, extra_delay in verdicts:
+            if dropped:
+                self.stats.dropped += 1
+                continue
+            if extra_delay > 0:
+                # A reorder/duplicate verdict bypasses the FIFO clamp;
+                # that is the point of the fault injection.
+                transit = (
+                    self._latency_model.latency(src, dst, self._rng) + extra_delay
+                )
+                arrival = self._events.now + transit
+            else:
+                transit = self._latency_model.latency(src, dst, self._rng)
+                arrival = self._events.now + transit
+                channel = (src, dst)
+                floor = self._channel_clock.get(channel, 0.0)
+                arrival = max(arrival, floor)
+                self._channel_clock[channel] = arrival
+            self._schedule_delivery(arrival, dst, payload)
+        if len(verdicts) > 1:
+            self.stats.duplicated += len(verdicts) - 1
+
+    def _schedule_delivery(self, arrival: float, dst: int, payload: Any) -> None:
+        def _fire() -> None:
+            self.stats.delivered += 1
+            assert self._deliver is not None
+            self._deliver(dst, payload)
+
+        self._events.schedule(arrival, _fire)
+
+
+class FaultPlanLike(Protocol):
+    """Interface the network expects from a fault plan."""
+
+    def judge(
+        self, src: int, dst: int, payload: Any, rng: random.Random
+    ) -> tuple[tuple[bool, float], ...]:
+        """Decide fate of a message: tuple of (dropped, extra_delay)."""
+        ...

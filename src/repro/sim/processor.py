@@ -1,0 +1,130 @@
+"""The per-processor queue manager and node manager.
+
+Paper, Section 1.1: *"Each processor that maintains part of the search
+structure has two components: a queue manager and a node manager.  The
+queue manager maintains the message queue, which stores pending
+actions to perform on locally stored nodes.  The node manager
+repeatedly takes an action from the queue manager and performs the
+action on a node. [...] the processing of one action can't be
+interrupted by the processing of another action, so an action on a
+node is implicitly atomic."*
+
+:class:`Processor` implements exactly this: a FIFO action queue and a
+single server that executes one action at a time, each taking a
+configurable service time.  The actual effect of an action (the
+protocol logic) lives in a handler installed by the dB-tree engine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.events import EventQueue
+from repro.sim.network import message_kind
+
+ActionHandler = Callable[["Processor", Any], None]
+ServiceTimeFn = Callable[[Any], float]
+
+
+@dataclass
+class ProcessorStats:
+    """Utilization accounting for one processor."""
+
+    actions_executed: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+    max_queue_len: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "actions_executed": self.actions_executed,
+            "busy_time": self.busy_time,
+            "wait_time": self.wait_time,
+            "max_queue_len": self.max_queue_len,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Processor:
+    """A simulated processor: FIFO action queue + atomic node manager.
+
+    The handler receives ``(processor, action)`` when the action's
+    service completes; anything the handler does (enqueue local
+    actions, send network messages) happens atomically at that instant
+    of virtual time.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        events: EventQueue,
+        service_time: float | ServiceTimeFn = 1.0,
+    ) -> None:
+        self.pid = pid
+        self._events = events
+        if callable(service_time):
+            self._service_time: ServiceTimeFn = service_time
+        else:
+            constant = float(service_time)
+            self._service_time = lambda _action: constant
+        self._queue: deque[tuple[Any, float]] = deque()
+        self._busy = False
+        self._handler: ActionHandler | None = None
+        self.stats = ProcessorStats()
+        # Arbitrary per-processor state owned by the engine (node
+        # store, locator, root id); the simulator core never reads it.
+        self.state: dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"Processor(pid={self.pid}, queued={len(self._queue)})"
+
+    @property
+    def queue_length(self) -> int:
+        """Number of actions waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """Whether an action is currently in service."""
+        return self._busy
+
+    def install_handler(self, handler: ActionHandler) -> None:
+        """Install the engine callback that executes actions."""
+        self._handler = handler
+
+    def submit(self, action: Any) -> None:
+        """Enqueue an action for execution on this processor.
+
+        Called both for locally generated subsequent actions and for
+        network deliveries.
+        """
+        if self._handler is None:
+            raise RuntimeError(f"processor {self.pid} has no handler installed")
+        self._queue.append((action, self._events.now))
+        self.stats.max_queue_len = max(self.stats.max_queue_len, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        action, enqueued_at = self._queue.popleft()
+        self._busy = True
+        self.stats.wait_time += self._events.now - enqueued_at
+        service = self._service_time(action)
+        if service < 0:
+            raise ValueError(f"negative service time {service} for {action!r}")
+        self.stats.busy_time += service
+        self._events.schedule_after(service, lambda: self._complete(action))
+
+    def _complete(self, action: Any) -> None:
+        self.stats.actions_executed += 1
+        self.stats.by_kind[message_kind(action)] += 1
+        assert self._handler is not None
+        try:
+            self._handler(self, action)
+        finally:
+            self._busy = False
+            if self._queue:
+                self._start_next()

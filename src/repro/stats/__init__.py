@@ -1,0 +1,48 @@
+"""Measurement and reporting for the experiments.
+
+* :mod:`repro.stats.metrics` -- message accounting, latency and
+  throughput summaries, replication profiles, load balance, space
+  utilization: the quantities the paper's claims are stated in.
+* :mod:`repro.stats.report` -- plain-text table rendering used by the
+  benchmark harness to print paper-style rows.
+"""
+
+from repro.stats.metrics import (
+    latency_summary,
+    load_balance,
+    message_summary,
+    occupancy_histogram,
+    replication_profile,
+    search_locality,
+    space_utilization,
+    split_message_cost,
+    stale_reads,
+    throughput,
+    update_read_ratio,
+)
+from repro.stats.report import format_table
+from repro.stats.timeseries import (
+    Window,
+    completion_series,
+    sparkline,
+    throughput_sparkline,
+)
+
+__all__ = [
+    "latency_summary",
+    "load_balance",
+    "message_summary",
+    "occupancy_histogram",
+    "replication_profile",
+    "update_read_ratio",
+    "search_locality",
+    "space_utilization",
+    "split_message_cost",
+    "stale_reads",
+    "throughput",
+    "format_table",
+    "Window",
+    "completion_series",
+    "sparkline",
+    "throughput_sparkline",
+]

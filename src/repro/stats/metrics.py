@@ -1,0 +1,263 @@
+"""Metrics: the quantities the paper's claims are stated in.
+
+Message complexity (splits, replica maintenance), operation latency
+and throughput, blocking time, replication profile by level, load
+balance across processors, and leaf space utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine
+    from repro.sim.simulator import Kernel
+    from repro.sim.tracing import Trace
+
+
+#: Message kinds that are pure split coordination, per protocol family.
+SPLIT_COORDINATION_KINDS = (
+    "split_start",
+    "split_ack",
+    "split_end",
+    "relayed_split",
+)
+
+
+def message_summary(kernel: "Kernel") -> dict[str, Any]:
+    """Total and per-kind network message counts."""
+    stats = kernel.network.stats
+    return {"total": stats.sent, "by_kind": dict(stats.by_kind)}
+
+
+def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:
+    """Messages per half-split, the Figure 5 / C4 quantity.
+
+    ``coordination`` counts only the split-ordering messages
+    (split_start/ack/end for the synchronous protocol, relayed splits
+    for the lazy ones); ``inherent`` counts the work any protocol must
+    do (sibling copy creation, parent insert); ``total`` is their sum.
+    The paper's "3|copies| vs |copies|" claim is about coordination.
+    """
+    splits = engine.trace.counters.get("half_splits", 0)
+    by_kind = engine.kernel.network.stats.by_kind
+    coordination = sum(by_kind.get(kind, 0) for kind in SPLIT_COORDINATION_KINDS)
+    inherent = by_kind.get("create_copy_sibling", 0) + by_kind.get(
+        "insert_initial", 0
+    )
+    if splits == 0:
+        return {"splits": 0, "coordination": 0.0, "inherent": 0.0, "total": 0.0}
+    return {
+        "splits": splits,
+        "coordination": coordination / splits,
+        "inherent": inherent / splits,
+        "total": (coordination + inherent) / splits,
+    }
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def latency_summary(trace: "Trace", kind: str | None = None) -> dict[str, float]:
+    """Mean / median / p95 / max latency of completed operations."""
+    latencies = trace.latencies(kind)
+    if not latencies:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "count": len(latencies),
+        "mean": sum(latencies) / len(latencies),
+        "p50": percentile(latencies, 0.50),
+        "p95": percentile(latencies, 0.95),
+        "max": max(latencies),
+    }
+
+
+def throughput(trace: "Trace", kernel: "Kernel") -> float:
+    """Completed operations per virtual time unit."""
+    completed = sum(
+        1 for op in trace.operations.values() if op.completed_at is not None
+    )
+    elapsed = kernel.now
+    if elapsed <= 0:
+        return 0.0
+    return completed / elapsed
+
+
+def blocked_time_summary(trace: "Trace") -> dict[str, float]:
+    """Total blocked time and blocked-event count (AAS / locks)."""
+    return {
+        "blocked_events": trace.blocked_events,
+        "blocked_time": trace.blocked_time,
+    }
+
+
+def replication_profile(engine: "DBTreeEngine") -> dict[int, dict[str, float]]:
+    """Per level: node count and average copies per node (Figure 2)."""
+    copies_per_node: dict[int, set[int]] = defaultdict(set)
+    level_of: dict[int, int] = {}
+    for copy in engine.all_copies():
+        copies_per_node[copy.node_id].add(copy.home_pid)
+        level_of[copy.node_id] = copy.level
+    profile: dict[int, dict[str, float]] = {}
+    by_level: dict[int, list[int]] = defaultdict(list)
+    for node_id, holders in copies_per_node.items():
+        by_level[level_of[node_id]].append(len(holders))
+    for level, counts in sorted(by_level.items()):
+        profile[level] = {
+            "nodes": len(counts),
+            "avg_copies": sum(counts) / len(counts),
+            "max_copies": max(counts),
+            "min_copies": min(counts),
+        }
+    return profile
+
+
+def load_balance(engine: "DBTreeEngine") -> dict[str, Any]:
+    """Leaves and leaf entries per processor + coefficient of variation."""
+    leaves_per_pid: dict[int, int] = {pid: 0 for pid in engine.kernel.pids}
+    entries_per_pid: dict[int, int] = {pid: 0 for pid in engine.kernel.pids}
+    for copy in engine.all_copies():
+        if copy.is_leaf and not copy.retired:
+            leaves_per_pid[copy.home_pid] += 1
+            entries_per_pid[copy.home_pid] += copy.num_entries
+    counts = list(entries_per_pid.values())
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        cv = 0.0
+    else:
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        cv = math.sqrt(variance) / mean
+    return {
+        "leaves_per_pid": leaves_per_pid,
+        "entries_per_pid": entries_per_pid,
+        "entries_cv": cv,
+        "max_over_mean": (max(counts) / mean) if mean else 0.0,
+    }
+
+
+def space_utilization(engine: "DBTreeEngine") -> float:
+    """Fraction of leaf capacity in use (the C7 quantity)."""
+    total_entries = 0
+    total_capacity = 0
+    seen: set[int] = set()
+    for copy in engine.all_copies():
+        if not copy.is_leaf or copy.retired or copy.node_id in seen:
+            continue
+        seen.add(copy.node_id)
+        total_entries += copy.num_entries
+        total_capacity += copy.capacity
+    if total_capacity == 0:
+        return 0.0
+    return total_entries / total_capacity
+
+
+def occupancy_histogram(
+    engine: "DBTreeEngine", level: int = 0, buckets: int = 5
+) -> dict[str, int]:
+    """Histogram of node fill fractions at one level.
+
+    Buckets are equal fractions of capacity; e.g. with 5 buckets the
+    labels are 0-20%, 20-40%, ... .  One representative copy per node.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    seen: set[int] = set()
+    histogram = {
+        f"{100 * i // buckets}-{100 * (i + 1) // buckets}%": 0
+        for i in range(buckets)
+    }
+    labels = list(histogram)
+    for copy in engine.all_copies():
+        if copy.level != level or copy.retired or copy.node_id in seen:
+            continue
+        seen.add(copy.node_id)
+        fraction = copy.num_entries / copy.capacity
+        index = min(int(fraction * buckets), buckets - 1)
+        histogram[labels[index]] += 1
+    return histogram
+
+
+def update_read_ratio(trace: "Trace") -> dict[str, float]:
+    """Update vs read action counts over the run (copy-action level)."""
+    counters = trace.counters
+    updates = sum(
+        count
+        for name, count in counters.items()
+        if name.startswith(("initial_", "relayed_"))
+    )
+    reads = sum(
+        1
+        for op in trace.operations.values()
+        if op.kind in ("search", "scan")
+    )
+    total = updates + reads
+    return {
+        "update_actions": updates,
+        "read_operations": reads,
+        "update_fraction": updates / total if total else 0.0,
+    }
+
+
+def stale_reads(trace: "Trace") -> dict[str, Any]:
+    """Reads that missed a write already acknowledged when they began.
+
+    Lazy replication trades read freshness for concurrency: with
+    replicated leaves, a search may read a copy the insert's relay
+    has not reached yet and return None even though the insert was
+    acknowledged earlier.  This measures how often that happened:
+    a search counts as *stale* if it returned None for a key whose
+    insert completed before the search was submitted.
+
+    With single-copy leaves (mobile / variable protocols) there is
+    one leaf to read and the count is structurally zero.
+    """
+    insert_done_at: dict[Any, float] = {}
+    for op in trace.operations.values():
+        if op.kind == "insert" and op.completed_at is not None:
+            existing = insert_done_at.get(op.key)
+            if existing is None or op.completed_at < existing:
+                insert_done_at[op.key] = op.completed_at
+    searches = 0
+    stale = 0
+    for op in trace.operations.values():
+        if op.kind != "search" or op.completed_at is None:
+            continue
+        searches += 1
+        done = insert_done_at.get(op.key)
+        if op.result is None and done is not None and done <= op.submitted_at:
+            stale += 1
+    return {
+        "searches": searches,
+        "stale": stale,
+        "stale_fraction": stale / searches if searches else 0.0,
+    }
+
+
+def search_locality(trace: "Trace", kernel: "Kernel") -> dict[str, float]:
+    """How much of the descent work stayed local (Figure 2 claim).
+
+    ``hops`` counts node visits per completed search; ``remote`` the
+    network messages carrying search steps.  Locality is the fraction
+    of visits that did not cost a message.
+    """
+    searches = [
+        op for op in trace.operations.values()
+        if op.kind == "search" and op.completed_at is not None
+    ]
+    total_hops = sum(op.hops for op in searches)
+    remote = kernel.network.stats.by_kind.get("search", 0)
+    if total_hops == 0:
+        return {"ops": len(searches), "avg_hops": 0.0, "locality": 1.0}
+    return {
+        "ops": len(searches),
+        "avg_hops": total_hops / max(len(searches), 1),
+        "locality": 1.0 - min(remote / total_hops, 1.0),
+    }

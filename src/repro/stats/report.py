@@ -1,0 +1,50 @@
+"""Plain-text tables for the benchmark harness output.
+
+The benches print the same rows/series the paper's figures describe;
+this module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [30, "x"]]))
+    a   b
+    --  -----
+    1   2.500
+    30  x
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Windowed time series over a run: throughput and latency curves.
+
+The trace records submission and completion instants for every
+operation; these helpers bucket them into fixed windows of virtual
+time, producing the series a plotting tool (or the text sparkline
+here) consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.tracing import Trace
+
+#: Eight-level text sparkline blocks.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class Window:
+    """One bucket of the series."""
+
+    start: float
+    end: float
+    completions: int
+    throughput: float
+    mean_latency: float
+
+
+def completion_series(
+    trace: "Trace",
+    window: float,
+    kind: str | None = None,
+) -> list[Window]:
+    """Bucket completed operations into fixed windows of virtual time.
+
+    Windows cover [0, last completion]; empty windows are included so
+    the series is uniform.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    completed = [
+        op
+        for op in trace.operations.values()
+        if op.completed_at is not None and (kind is None or op.kind == kind)
+    ]
+    if not completed:
+        return []
+    horizon = max(op.completed_at for op in completed)
+    buckets = max(1, math.ceil(horizon / window))
+    counts = [0] * buckets
+    latency_sums = [0.0] * buckets
+    for op in completed:
+        index = min(int(op.completed_at / window), buckets - 1)
+        counts[index] += 1
+        latency_sums[index] += op.latency
+    series = []
+    for index in range(buckets):
+        count = counts[index]
+        series.append(
+            Window(
+                start=index * window,
+                end=(index + 1) * window,
+                completions=count,
+                throughput=count / window,
+                mean_latency=(latency_sums[index] / count) if count else 0.0,
+            )
+        )
+    return series
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """Render values as a unicode sparkline (max-normalised).
+
+    >>> sparkline([0, 1, 2, 4])
+    '▁▂▄█'
+    """
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        # Downsample by averaging fixed-size chunks.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):int((i + 1) * chunk) or None])
+            / max(len(values[int(i * chunk):int((i + 1) * chunk) or None]), 1)
+            for i in range(width)
+        ]
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_LEVELS[1] * len(values)
+    out = []
+    for value in values:
+        level = int(value / peak * (len(_SPARK_LEVELS) - 2)) + 1
+        out.append(_SPARK_LEVELS[min(level, len(_SPARK_LEVELS) - 1)])
+    return "".join(out)
+
+
+def throughput_sparkline(
+    trace: "Trace", window: float, kind: str | None = None, width: int = 60
+) -> str:
+    """One-line throughput history for run summaries."""
+    series = completion_series(trace, window, kind)
+    return sparkline([w.throughput for w in series], width=width)

@@ -1,0 +1,86 @@
+"""JSON export of a simulation's trace for offline analysis.
+
+The export is self-contained plain data: operations (with latencies),
+per-copy update histories, free-form counters, and network
+statistics.  Sentinel bounds are rendered as the strings "-inf" /
+"+inf"; other non-JSON-native keys fall back to ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.core.keys import NEG_INF, POS_INF
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine
+
+
+def _jsonable(value: Any) -> Any:
+    if value is NEG_INF:
+        return "-inf"
+    if value is POS_INF:
+        return "+inf"
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, dict):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def export_trace(engine: "DBTreeEngine", path: str | None = None) -> dict:
+    """Build (and optionally write) the JSON-ready trace document."""
+    trace = engine.trace
+    document = {
+        "virtual_time": engine.now,
+        "processors": len(engine.kernel.processors),
+        "operations": [
+            {
+                "op_id": op.op_id,
+                "kind": op.kind,
+                "key": _jsonable(op.key),
+                "home_pid": op.home_pid,
+                "submitted_at": op.submitted_at,
+                "completed_at": op.completed_at,
+                "latency": op.latency,
+                "hops": op.hops,
+            }
+            for op in trace.operations.values()
+        ],
+        "copies": [
+            {
+                "node_id": history.node_id,
+                "pid": history.pid,
+                "created_at": history.created_at,
+                "deleted_at": history.deleted_at,
+                "birth_set": sorted(history.birth_set),
+                "applied": [
+                    {
+                        "action_id": update.action_id,
+                        "kind": update.kind,
+                        "mode": update.mode,
+                        "params": _jsonable(update.params),
+                        "version": update.version,
+                        "time": update.time,
+                    }
+                    for update in history.applied
+                ],
+            }
+            for history in trace.copies.values()
+        ],
+        "counters": dict(trace.counters),
+        "blocked": {
+            "events": trace.blocked_events,
+            "time": trace.blocked_time,
+        },
+        "network": _jsonable(engine.kernel.network.stats.snapshot()),
+    }
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+    return document

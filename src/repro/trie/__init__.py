@@ -1,0 +1,29 @@
+"""Lazy updates applied to a distributed trie.
+
+The paper's Section 5 agenda names tries alongside hash tables.  This
+package carries the recipe to a **burst trie** (containers of keys
+that burst into per-character children when full):
+
+* **containers** are the unreplicated data nodes (like dB-tree
+  leaves), created round-robin across processors; a full container
+  *bursts* locally -- in place, keeping its node id, so no parent
+  update is ever needed for a burst (the trie's analogue of the
+  half-split staying local);
+* **interior nodes** route by character and may be replicated;
+  adding an edge for a *new* character is the interesting update: two
+  edge-adds for **different** characters commute (lazy updates,
+  relayed asynchronously), but two for the **same** character do not
+  -- so edge creation is serialized at the node's primary copy,
+  making it exactly the paper's *semi-synchronous* update class;
+* a replica missing an edge **misnavigates**; it recovers by
+  forwarding the operation to the primary copy, whose answer is
+  authoritative -- and the PC teaches the stale replica the edge
+  (the image-adjustment correction again).
+
+Public API: :class:`~repro.trie.table.LazyTrie`.
+"""
+
+from repro.trie.node import Container, Interior
+from repro.trie.table import LazyTrie
+
+__all__ = ["Container", "Interior", "LazyTrie"]

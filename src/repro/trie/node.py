@@ -1,0 +1,149 @@
+"""Trie nodes: routing interiors and data containers.
+
+A *container* owns every stored key that extends its prefix and has
+not been claimed by a child.  When it exceeds capacity it *bursts*:
+keys are partitioned by their next character into fresh child
+containers, and the bursting node becomes an interior **in place**
+(same node id), so the parent's edge to it stays valid -- bursts
+never need a parent update, the trie's analogue of B-link splits
+staying local.
+
+Keys exactly equal to an interior's prefix live in a dedicated
+terminal child under :data:`TERMINAL`, keeping all values in
+containers (the unreplicated data nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Edge label for keys exactly equal to an interior's prefix.  The
+#: empty string sorts before every character and cannot collide with
+#: a real next-character edge.
+TERMINAL = ""
+
+
+@dataclass
+class Container:
+    """A data node: keys extending ``prefix``, up to ``capacity``."""
+
+    node_id: int
+    prefix: str
+    capacity: int
+    home_pid: int
+    entries: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+    @property
+    def is_overfull(self) -> bool:
+        return len(self.entries) > self.capacity
+
+    def covers(self, key: str) -> bool:
+        return key.startswith(self.prefix)
+
+    def insert(self, key: str, value: Any) -> bool:
+        if not self.covers(key):
+            raise ValueError(
+                f"key {key!r} outside container prefix {self.prefix!r}"
+            )
+        is_new = key not in self.entries
+        self.entries[key] = value
+        return is_new
+
+    def delete(self, key: str) -> bool:
+        return self.entries.pop(key, _MISSING) is not _MISSING
+
+    def lookup(self, key: str) -> Any:
+        return self.entries.get(key)
+
+    def partition_for_burst(self) -> dict[str, dict[str, Any]]:
+        """Group entries by edge label for a burst.
+
+        Keys equal to the prefix go under :data:`TERMINAL`; the rest
+        under their next character.
+        """
+        groups: dict[str, dict[str, Any]] = {}
+        depth = len(self.prefix)
+        for key, value in self.entries.items():
+            label = TERMINAL if len(key) == depth else key[depth]
+            groups.setdefault(label, {})[key] = value
+        return groups
+
+
+@dataclass
+class Interior:
+    """A routing node: ``prefix`` plus per-character child edges.
+
+    ``edges`` maps an edge label (a single character, or
+    :data:`TERMINAL`) to a child node id.  Edge additions are the
+    semi-synchronous update class: serialized at the primary copy,
+    relayed lazily to the replicas.
+    """
+
+    node_id: int
+    prefix: str
+    pc_pid: int
+    copy_pids: tuple[int, ...]
+    home_pid: int
+    edges: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_pc(self) -> bool:
+        return self.home_pid == self.pc_pid
+
+    def covers(self, key: str) -> bool:
+        return key.startswith(self.prefix)
+
+    def label_for(self, key: str) -> str:
+        if not self.covers(key):
+            raise ValueError(f"key {key!r} outside prefix {self.prefix!r}")
+        depth = len(self.prefix)
+        return TERMINAL if len(key) == depth else key[depth]
+
+    def child_for(self, key: str) -> int | None:
+        """The child edge the key follows, or None if absent here."""
+        return self.edges.get(self.label_for(key))
+
+    def add_edge(self, label: str, child_id: int) -> bool:
+        """Install an edge; returns False if it already existed.
+
+        Conflicting targets for one label cannot arise from a correct
+        protocol (edge creation is PC-serialized) and fail loudly.
+        """
+        existing = self.edges.get(label)
+        if existing is not None:
+            if existing != child_id:
+                raise ValueError(
+                    f"edge conflict at {self.prefix!r}+{label!r}: "
+                    f"{existing} vs {child_id}"
+                )
+            return False
+        self.edges[label] = child_id
+        return True
+
+    def force_edge(self, label: str, child_id: int) -> int | None:
+        """Overwrite an edge (last-writer-wins); returns the loser.
+
+        Only the deliberately incorrect non-serialized variant uses
+        this -- overwriting an edge orphans the previous child's keys.
+        """
+        previous = self.edges.get(label)
+        self.edges[label] = child_id
+        return previous if previous not in (None, child_id) else None
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self.edges.items()))
+
+    def fingerprint(self) -> frozenset:
+        return frozenset(self.edges.items())
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,18 @@
+"""Correctness auditing of dB-tree computations.
+
+The paper's Section 3 requirements, checked mechanically over the
+recorded trace and the final simulation state:
+
+* :mod:`repro.verify.checker` -- the complete / compatible / ordered
+  history checks plus replication-metadata convergence.
+* :mod:`repro.verify.invariants` -- structural B-link invariants:
+  copy convergence, level chains partitioning the key space,
+  parent/child consistency, reachability of every leaf.
+* :mod:`repro.verify.model` -- a sorted-map oracle for end-to-end
+  key-completeness checks.
+"""
+
+from repro.verify.checker import CheckReport, check_all
+from repro.verify.model import OracleMap
+
+__all__ = ["CheckReport", "check_all", "OracleMap"]

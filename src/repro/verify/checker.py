@@ -1,0 +1,305 @@
+"""History-requirement checkers (paper, Section 3) over a trace.
+
+The engine records every update application (initial vs relayed, with
+a globally unique action id), every copy birth (with the *birth set*
+of already-incorporated update ids -- the mechanical backwards
+extension), and every copy deletion.  At quiescence these checks
+audit the three correctness requirements:
+
+**Complete histories** -- every issued operation produced its return
+value, and every key the workload expects is present in exactly one
+leaf (so no subsequent action was lost; the Figure 4 naive protocol
+fails precisely here).
+
+**Compatible histories** -- for every node ``n`` and live copy ``c``:
+``birth(c) + applied(c)`` accounts for every action in ``M_n``, where
+an absence is *excused* only when the paper's rewriting arguments
+apply: a keyed update whose key was re-homed rightward by a
+half-split (the key must then be found in the right-sibling chain),
+or a link-change superseded by a higher-versioned one.  Together with
+value convergence (structural check) this is single-copy equivalence
+at end of computation.
+
+**Ordered histories** -- the ordered action class (link-changes,
+joins/unjoins) was applied in version order at every copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.keys import Key
+from repro.core.node import NodeCopy
+from repro.verify.invariants import check_structure, representative_nodes
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine
+    from repro.sim.tracing import Trace
+
+
+@dataclass
+class CheckReport:
+    """Outcome of the full audit."""
+
+    problems: list[str] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def extend(self, name: str, problems: list[str]) -> None:
+        self.checks_run.append(name)
+        self.problems.extend(f"[{name}] {p}" for p in problems)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        return f"CheckReport({status}; checks: {', '.join(self.checks_run)})"
+
+
+# ----------------------------------------------------------------------
+# complete histories
+# ----------------------------------------------------------------------
+def check_complete_operations(trace: "Trace") -> list[str]:
+    """Every submitted operation must have completed."""
+    problems = []
+    for op in trace.incomplete_operations():
+        problems.append(
+            f"operation {op.op_id} ({op.kind} {op.key!r} from pid "
+            f"{op.home_pid}) never completed"
+        )
+    return problems
+
+
+def leaf_contents(engine: "DBTreeEngine") -> dict[Key, Any]:
+    """Union of all leaf entries (one representative copy per leaf)."""
+    contents: dict[Key, Any] = {}
+    for node in representative_nodes(engine).values():
+        if not node.is_leaf:
+            continue
+        for key, value in node.entries():
+            # A key in two leaves is a partition violation; the
+            # structural checks flag it, so keep the first sighting.
+            contents.setdefault(key, value)
+    return contents
+
+
+def check_expected_contents(
+    engine: "DBTreeEngine", expected: Mapping[Key, Any]
+) -> list[str]:
+    """The leaves must contain exactly the oracle's items."""
+    problems = []
+    actual = leaf_contents(engine)
+    missing = [k for k in expected if k not in actual]
+    extra = [k for k in actual if k not in expected]
+    if missing:
+        shown = ", ".join(repr(k) for k in sorted(missing)[:10])
+        problems.append(f"{len(missing)} expected key(s) missing: {shown}")
+    if extra:
+        shown = ", ".join(repr(k) for k in sorted(extra)[:10])
+        problems.append(f"{len(extra)} unexpected key(s) present: {shown}")
+    for key, value in expected.items():
+        if key in actual and actual[key] != value:
+            problems.append(
+                f"key {key!r}: value {actual[key]!r} != expected {value!r}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# compatible histories
+# ----------------------------------------------------------------------
+def _engine_copy(
+    engine: "DBTreeEngine", node_id: int, pid: int
+) -> NodeCopy | None:
+    return engine.copy_at(engine.kernel.processor(pid), node_id)
+
+
+def _key_rehomed(
+    engine: "DBTreeEngine",
+    nodes: dict[int, NodeCopy],
+    node_id: int,
+    key: Key,
+    payload_check: Any,
+    kind: str,
+) -> bool:
+    """Whether ``key`` legitimately moved right out of node ``node_id``.
+
+    Walk the right-sibling chain from the node; the key is excused if
+    some node on the chain now covers it (and, for inserts, actually
+    contains it unless it was later deleted -- content equality is
+    separately checked against the oracle, so coverage suffices here).
+    """
+    node = nodes.get(node_id)
+    hops = 0
+    while node is not None and hops < 1_000:
+        if node.range.contains(key):
+            return node.node_id != node_id
+        if node.right_id is None:
+            return False
+        node = nodes.get(node.right_id)
+        hops += 1
+    return False
+
+
+def check_compatible_histories(engine: "DBTreeEngine") -> list[str]:
+    """Birth set + applied updates must account for M_n at every copy."""
+    trace = engine.trace
+    problems = []
+    nodes = representative_nodes(engine)
+    for node_id, issued in trace.issued.items():
+        live = trace.live_copies(node_id)
+        for copy_history in live:
+            known = copy_history.known_ids()
+            engine_copy = _engine_copy(engine, node_id, copy_history.pid)
+            if engine_copy is None:
+                problems.append(
+                    f"node {node_id}: trace says pid {copy_history.pid} "
+                    f"holds a live copy but the store disagrees"
+                )
+                continue
+            for action_id, (kind, params) in issued.items():
+                if action_id in known:
+                    continue
+                if kind in ("insert", "delete"):
+                    key = params[1]
+                    if not engine_copy.in_range(key) and _key_rehomed(
+                        engine, nodes, node_id, key, params, kind
+                    ):
+                        continue  # excused: re-homed by a half-split
+                    problems.append(
+                        f"node {node_id} copy@pid {copy_history.pid}: "
+                        f"missing {kind} action {action_id} ({params!r}) "
+                        f"with no re-homing excuse"
+                    )
+                elif kind == "link_change":
+                    slot, _target, version = params[1], params[2], params[3]
+                    superseded = any(
+                        u.kind == "link_change"
+                        and u.params[1] == slot
+                        and u.params[3] > version
+                        for u in copy_history.applied
+                    )
+                    if not superseded:
+                        problems.append(
+                            f"node {node_id} copy@pid {copy_history.pid}: "
+                            f"link_change {action_id} ({params!r}) neither "
+                            f"applied nor superseded"
+                        )
+                elif kind in ("join", "unjoin", "half_split", "absorb"):
+                    problems.append(
+                        f"node {node_id} copy@pid {copy_history.pid}: "
+                        f"missing {kind} action {action_id} ({params!r})"
+                    )
+                else:
+                    problems.append(
+                        f"node {node_id}: unknown update kind {kind!r} "
+                        f"in issued set"
+                    )
+    return problems
+
+
+def check_replication_metadata(engine: "DBTreeEngine") -> list[str]:
+    """Copy sets and versions must converge across a node's copies."""
+    problems = []
+    groups: dict[int, list[NodeCopy]] = {}
+    for copy in engine.all_copies():
+        groups.setdefault(copy.node_id, []).append(copy)
+    for node_id, copies in groups.items():
+        versions = {c.version for c in copies}
+        if len(versions) > 1:
+            problems.append(
+                f"node {node_id}: copy versions diverge: {sorted(versions)}"
+            )
+        member_views = {tuple(sorted(c.copy_versions.items())) for c in copies}
+        if len(member_views) > 1:
+            problems.append(
+                f"node {node_id}: copy-set views diverge across "
+                f"{len(copies)} copies"
+            )
+        holders = {c.home_pid for c in copies}
+        declared = {pid for c in copies for pid in c.copy_versions}
+        if holders != declared and len(member_views) == 1:
+            problems.append(
+                f"node {node_id}: declared members {sorted(declared)} != "
+                f"actual holders {sorted(holders)}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# ordered histories
+# ----------------------------------------------------------------------
+def check_ordered_histories(trace: "Trace") -> list[str]:
+    """Ordered-class actions must be applied in version order per copy.
+
+    Link-changes are ordered per slot; join/unjoin registrations are
+    ordered per node (the PC serializes them and relays FIFO).
+    """
+    problems = []
+    for (node_id, pid), copy_history in trace.copies.items():
+        last_by_slot: dict[str, int] = {}
+        last_membership = -1
+        for update in copy_history.applied:
+            if update.kind == "link_change":
+                slot = update.params[1]
+                version = update.params[3]
+                if version <= last_by_slot.get(slot, -1):
+                    problems.append(
+                        f"node {node_id} copy@pid {pid}: link_change on "
+                        f"slot {slot!r} applied out of order "
+                        f"(version {version})"
+                    )
+                last_by_slot[slot] = version
+            elif update.kind in ("join", "unjoin"):
+                version = update.params[2]
+                if version <= last_membership:
+                    problems.append(
+                        f"node {node_id} copy@pid {pid}: {update.kind} "
+                        f"version {version} applied out of order"
+                    )
+                last_membership = version
+    return problems
+
+
+# ----------------------------------------------------------------------
+# store/trace consistency
+# ----------------------------------------------------------------------
+def check_trace_store_agreement(engine: "DBTreeEngine") -> list[str]:
+    """A copy is live in the trace iff it is in a node store."""
+    problems = []
+    trace = engine.trace
+    stored = {
+        (copy.node_id, copy.home_pid) for copy in engine.all_copies()
+    }
+    live = {
+        key for key, history in trace.copies.items() if history.alive
+    }
+    for key in stored - live:
+        problems.append(f"copy {key} stored but not live in trace")
+    for key in live - stored:
+        problems.append(f"copy {key} live in trace but not stored")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# the full audit
+# ----------------------------------------------------------------------
+def check_all(
+    engine: "DBTreeEngine",
+    expected: Mapping[Key, Any] | None = None,
+) -> CheckReport:
+    """Run every checker; a clean report means the computation met the
+    complete, compatible, and ordered history requirements and the
+    tree is structurally sound."""
+    report = CheckReport()
+    report.extend("complete-ops", check_complete_operations(engine.trace))
+    report.extend("structure", check_structure(engine))
+    report.extend("trace-store", check_trace_store_agreement(engine))
+    report.extend("compatible", check_compatible_histories(engine))
+    report.extend("replication-metadata", check_replication_metadata(engine))
+    report.extend("ordered", check_ordered_histories(engine.trace))
+    if expected is not None:
+        report.extend("expected-contents", check_expected_contents(engine, expected))
+    return report

@@ -1,0 +1,155 @@
+"""Workload drivers: how operations arrive at the cluster.
+
+* :class:`OpenLoopDriver` -- operations arrive on a timed schedule
+  regardless of completions (models external request traffic; used
+  for latency-under-load and the concurrency experiments).
+* :class:`ClosedLoopDriver` -- each client keeps a fixed number of
+  operations outstanding, submitting the next when one completes
+  (models a fixed population of clients; used for the throughput /
+  root-bottleneck experiments, where saturation is the point).
+
+Both also feed the oracle so ``check(expected=...)`` can verify
+end-to-end completeness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.core.client import DBTreeCluster
+from repro.core.keys import Key
+from repro.verify.model import OracleMap
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A concrete operation list plus how to spread it over clients."""
+
+    operations: tuple[tuple[str, Key, Any], ...]
+    clients: tuple[int, ...]
+
+    @classmethod
+    def from_mix(
+        cls, mix_operations: Iterable[tuple[str, Key, Any]], clients: Iterable[int]
+    ) -> "Workload":
+        return cls(operations=tuple(mix_operations), clients=tuple(clients))
+
+    def per_client(self) -> dict[int, list[tuple[str, Key, Any]]]:
+        """Round-robin assignment of operations to clients."""
+        assignment: dict[int, list[tuple[str, Key, Any]]] = {
+            pid: [] for pid in self.clients
+        }
+        for index, operation in enumerate(self.operations):
+            pid = self.clients[index % len(self.clients)]
+            assignment[pid].append(operation)
+        return assignment
+
+
+class OpenLoopDriver:
+    """Timed arrivals: one operation every ``interarrival`` units.
+
+    ``jitter`` > 0 perturbs each arrival uniformly; arrival order (and
+    hence oracle validity) is preserved because conflict-free streams
+    do not care about reordering of distinct keys.
+    """
+
+    def __init__(
+        self,
+        cluster: DBTreeCluster,
+        workload: Workload,
+        interarrival: float = 1.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.interarrival = interarrival
+        self.jitter = jitter
+        self.oracle = OracleMap()
+        self._rng = random.Random(seed)
+
+    def schedule_all(self, start: float = 0.0) -> float:
+        """Schedule every operation; returns the last arrival time."""
+        time = start
+        clients = self.workload.clients
+        for index, (kind, key, value) in enumerate(self.workload.operations):
+            client = clients[index % len(clients)]
+            arrival = time + (
+                self._rng.uniform(0, self.jitter) if self.jitter else 0.0
+            )
+            self.cluster.schedule(arrival, kind, key, value, client=client)
+            self.oracle.apply(kind, key, value)
+            time += self.interarrival
+        return time
+
+    def run(self) -> "DriverResult":
+        last = self.schedule_all()
+        results = self.cluster.run()
+        return DriverResult(
+            oracle=self.oracle, last_arrival=last, run=results
+        )
+
+
+class ClosedLoopDriver:
+    """Fixed concurrency: each client keeps ``depth`` ops in flight.
+
+    The driver listens for operation completions and submits each
+    client's next operation on completion of one of its own, which is
+    the classic closed-loop saturation workload.
+    """
+
+    def __init__(
+        self,
+        cluster: DBTreeCluster,
+        workload: Workload,
+        depth: int = 1,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.cluster = cluster
+        self.workload = workload
+        self.depth = depth
+        self.oracle = OracleMap()
+        self._queues: dict[int, Iterator[tuple[str, Key, Any]]] = {}
+        self._op_owner: dict[int, int] = {}
+
+    def _submit_next(self, client: int) -> None:
+        queue = self._queues[client]
+        try:
+            kind, key, value = next(queue)
+        except StopIteration:
+            return
+        op_id = self.cluster.engine.submit_operation(
+            kind, key, value, home_pid=client
+        )
+        self._op_owner[op_id] = client
+        self.oracle.apply(kind, key, value)
+
+    def _on_completion(self, op, _result) -> None:
+        client = self._op_owner.pop(op.op_id, None)
+        if client is not None:
+            self._submit_next(client)
+
+    def run(self) -> "DriverResult":
+        per_client = self.workload.per_client()
+        self._queues = {pid: iter(ops) for pid, ops in per_client.items()}
+        self.cluster.engine.op_completion_listeners.append(self._on_completion)
+        try:
+            for client in per_client:
+                for _ in range(self.depth):
+                    self._submit_next(client)
+            results = self.cluster.run()
+        finally:
+            self.cluster.engine.op_completion_listeners.remove(self._on_completion)
+        return DriverResult(oracle=self.oracle, last_arrival=None, run=results)
+
+
+@dataclass
+class DriverResult:
+    """What a driver run produced: the oracle and the run outcome."""
+
+    oracle: OracleMap
+    run: Any
+    last_arrival: float | None = None

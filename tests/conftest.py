@@ -1,0 +1,11 @@
+"""Pytest fixtures shared across the suite."""
+
+import pytest
+
+from repro import DBTreeCluster
+
+
+@pytest.fixture
+def small_cluster():
+    """A 4-processor semisync cluster with tiny nodes (splits early)."""
+    return DBTreeCluster(num_processors=4, protocol="semisync", capacity=4, seed=11)

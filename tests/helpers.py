@@ -1,0 +1,39 @@
+"""Shared test helpers: canned workloads and cluster runners."""
+
+from __future__ import annotations
+
+from repro import DBTreeCluster
+
+
+def run_insert_workload(
+    cluster: DBTreeCluster,
+    count: int = 200,
+    key_fn=lambda i: (i * 7) % 2003,
+    concurrent: bool = True,
+):
+    """Insert ``count`` distinct keys; return the expected mapping.
+
+    ``concurrent=True`` submits everything at time zero (maximum
+    interleaving); otherwise operations are spaced out so each
+    completes before the next arrives.
+    """
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = key_fn(index)
+        if key in expected:
+            raise ValueError(f"key_fn produced duplicate key {key}")
+        expected[key] = index
+        client = pids[index % len(pids)]
+        if concurrent:
+            cluster.insert(key, index, client=client)
+        else:
+            cluster.schedule(index * 200.0, "insert", key, index, client=client)
+    cluster.run()
+    return expected
+
+
+def assert_clean(cluster: DBTreeCluster, expected=None):
+    report = cluster.check(expected=expected)
+    assert report.ok, "\n".join(report.problems[:20])
+    return report

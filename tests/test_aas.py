@@ -1,0 +1,50 @@
+"""Atomic action sequences: the distributed lock analogue."""
+
+import pytest
+
+from repro.core.aas import AAS, AASRegistry
+
+
+def blocks_ints(action):
+    return isinstance(action, int)
+
+
+class TestAASRegistry:
+    def test_begin_and_conflict(self):
+        reg = AASRegistry()
+        reg.begin(AAS(aas_id=1, name="split", blocks=blocks_ints))
+        assert reg.any_active
+        assert reg.conflicts(5)
+        assert not reg.conflicts("search")
+
+    def test_double_begin_rejected(self):
+        reg = AASRegistry()
+        reg.begin(AAS(aas_id=1, name="split", blocks=blocks_ints))
+        with pytest.raises(ValueError):
+            reg.begin(AAS(aas_id=1, name="split", blocks=blocks_ints))
+
+    def test_finish_releases_deferred(self):
+        reg = AASRegistry()
+        reg.begin(AAS(aas_id=1, name="split", blocks=blocks_ints))
+        reg.defer(10)
+        reg.defer(11)
+        released = reg.finish(1)
+        assert released == [10, 11]
+        assert not reg.any_active
+        assert not reg.pending
+
+    def test_finish_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            AASRegistry().finish(42)
+
+    def test_overlapping_aas_keep_blocking(self):
+        reg = AASRegistry()
+        reg.begin(AAS(aas_id=1, name="a", blocks=blocks_ints))
+        reg.begin(AAS(aas_id=2, name="b", blocks=lambda a: a == 7))
+        reg.defer(7)
+        reg.defer(9)
+        released = reg.finish(1)
+        # 7 is still blocked by AAS 2; 9 is free.
+        assert released == [9]
+        assert reg.pending == [7]
+        assert reg.finish(2) == [7]

@@ -1,0 +1,53 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out.strip()
+        import repro
+
+        assert out == repro.__version__
+
+    def test_protocols_lists_all(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("semisync", "sync", "naive", "mobile", "variable"):
+            assert name in out
+
+    def test_demo_runs_clean(self, capsys):
+        assert main(["demo", "--inserts", "40", "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dB-tree @" in out
+        assert "audit: CheckReport(OK" in out
+
+    def test_demo_protocol_choice(self, capsys):
+        assert main(
+            ["demo", "--inserts", "30", "--protocol", "variable", "--seed", "5"]
+        ) == 0
+        assert "audit: CheckReport(OK" in capsys.readouterr().out
+
+    def test_naive_demo_fails_audit(self, capsys):
+        # The strawman loses keys, so the CLI reports failure (rc 1).
+        rc = main(
+            ["demo", "--inserts", "300", "--protocol", "naive", "--capacity", "4"]
+        )
+        assert rc == 1
+
+    def test_hash_demo(self, capsys):
+        assert main(["hash-demo", "--inserts", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "lazy hash table" in out
+        assert "audit: CheckReport(OK" in out
+
+    def test_hash_demo_mode_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hash-demo", "--mode", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,164 @@
+"""Engine fundamentals: bootstrap, descent, splits, root growth,
+out-of-range forwarding, missing-node recovery."""
+
+import pytest
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster, FullReplication, SingleCopy
+from repro.core.keys import NEG_INF, POS_INF
+
+
+class TestBootstrap:
+    def test_initial_tree_shape(self, small_cluster):
+        engine = small_cluster.engine
+        levels = {copy.level for copy in engine.all_copies()}
+        assert levels == {0, 1}
+        roots = [c for c in engine.all_copies() if c.level == 1]
+        assert len(roots) == small_cluster.num_processors  # root everywhere
+        leaves = [c for c in engine.all_copies() if c.level == 0]
+        assert len(leaves) == small_cluster.num_processors  # full replication
+
+    def test_every_processor_knows_the_root(self, small_cluster):
+        for proc in small_cluster.kernel.processors.values():
+            assert proc.state["root_id"] is not None
+            assert proc.state["root_level"] == 1
+
+    def test_leaf_parent_points_at_root(self, small_cluster):
+        engine = small_cluster.engine
+        root_id = small_cluster.kernel.processor(0).state["root_id"]
+        for copy in engine.all_copies():
+            if copy.is_leaf:
+                assert copy.parent_id == root_id
+
+
+class TestBasicOperations:
+    def test_search_on_empty_tree(self, small_cluster):
+        assert small_cluster.search_sync(5) is None
+
+    def test_insert_then_search(self, small_cluster):
+        assert small_cluster.insert_sync(5, "five")
+        assert small_cluster.search_sync(5) == "five"
+        assert small_cluster.search_sync(6) is None
+
+    def test_search_from_every_client(self, small_cluster):
+        small_cluster.insert_sync(5, "five")
+        for pid in small_cluster.kernel.pids:
+            assert small_cluster.search_sync(5, client=pid) == "five"
+
+    def test_delete(self, small_cluster):
+        small_cluster.insert_sync(5, "five")
+        assert small_cluster.delete_sync(5)
+        assert small_cluster.search_sync(5) is None
+        assert not small_cluster.delete_sync(5)  # second delete finds nothing
+
+    def test_string_keys(self):
+        cluster = DBTreeCluster(num_processors=2, capacity=4, seed=1)
+        words = ["pear", "apple", "mango", "fig", "lime", "kiwi", "date"]
+        for word in words:
+            cluster.insert(word, word.upper())
+        cluster.run()
+        assert cluster.search_sync("fig") == "FIG"
+        assert_clean(cluster, expected={w: w.upper() for w in words})
+
+    def test_operation_kinds_validated(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.engine.submit_operation("upsert", 1)
+
+
+class TestSplitsAndGrowth:
+    def test_splits_create_leaf_chain(self, small_cluster):
+        expected = run_insert_workload(small_cluster, count=60)
+        assert small_cluster.trace.counters["half_splits"] > 10
+        assert_clean(small_cluster, expected=expected)
+
+    def test_root_growth_raises_level(self, small_cluster):
+        run_insert_workload(small_cluster, count=120)
+        assert small_cluster.engine.current_root_level() >= 2
+        assert small_cluster.trace.counters["root_growths"] >= 1
+
+    def test_sequential_keys_grow_rightmost(self, small_cluster):
+        expected = run_insert_workload(small_cluster, count=80, key_fn=lambda i: i)
+        assert_clean(small_cluster, expected=expected)
+
+    def test_reverse_sequential_keys(self, small_cluster):
+        expected = run_insert_workload(small_cluster, count=80, key_fn=lambda i: -i)
+        assert_clean(small_cluster, expected=expected)
+
+    def test_no_overfull_nodes_at_quiescence(self, small_cluster):
+        run_insert_workload(small_cluster, count=150)
+        for copy in small_cluster.engine.all_copies():
+            assert not copy.is_overfull, f"{copy!r} overfull at quiescence"
+
+    def test_leaf_chain_partitions_keyspace(self, small_cluster):
+        run_insert_workload(small_cluster, count=100)
+        from repro.verify.invariants import representative_nodes
+
+        leaves = sorted(
+            (n for n in representative_nodes(small_cluster.engine).values() if n.is_leaf),
+            key=lambda n: (n.range.low is not NEG_INF, n.range.low),
+        )
+        assert leaves[0].range.low is NEG_INF
+        assert leaves[-1].range.high is POS_INF
+        for left, right in zip(leaves, leaves[1:]):
+            assert left.range.high == right.range.low
+            assert left.right_id == right.node_id
+
+
+class TestRoutingAndRecovery:
+    def test_out_of_range_insert_forwards_right(self, small_cluster):
+        run_insert_workload(small_cluster, count=120)
+        # Under a concurrent burst some inserts must have chased links.
+        assert small_cluster.trace.counters.get("forward_right", 0) > 0
+
+    def test_single_copy_tree_remote_clients(self):
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol="semisync",
+            capacity=4,
+            replication=SingleCopy(pin_to=2),
+            seed=5,
+        )
+        expected = run_insert_workload(cluster, count=60)
+        assert_clean(cluster, expected=expected)
+        # All tree nodes live on processor 2.
+        assert {c.home_pid for c in cluster.engine.all_copies()} == {2}
+
+    def test_locator_learned_from_parent_inserts(self, small_cluster):
+        run_insert_workload(small_cluster, count=60)
+        locator = small_cluster.kernel.processor(0).state["locator"]
+        node_ids = {c.node_id for c in small_cluster.engine.all_copies()}
+        # Processor 0 can locate most of the tree (full replication).
+        assert node_ids <= set(locator.keys())
+
+    def test_deterministic_replay(self):
+        def build():
+            cluster = DBTreeCluster(
+                num_processors=4, protocol="semisync", capacity=4, seed=99
+            )
+            run_insert_workload(cluster, count=80)
+            return (
+                cluster.kernel.now,
+                cluster.kernel.network.stats.sent,
+                sorted(
+                    c.value_fingerprint()
+                    for c in cluster.engine.all_copies()
+                    if c.is_leaf
+                ),
+            )
+
+        assert build() == build()
+
+    def test_full_replication_search_is_local(self):
+        cluster = DBTreeCluster(
+            num_processors=4,
+            capacity=8,
+            replication=FullReplication(),
+            seed=2,
+        )
+        expected = run_insert_workload(cluster, count=40, concurrent=False)
+        cluster.kernel.network.reset_stats()
+        for key in list(expected)[:10]:
+            cluster.search_sync(key, client=1)
+        # Every node is on every processor: searches need no messages
+        # except none at all.
+        assert cluster.kernel.network.stats.by_kind.get("search", 0) == 0

@@ -1,0 +1,111 @@
+"""The event kernel: ordering, determinism, cancellation, guards."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for label in "abcde":
+            q.schedule(5.0, lambda label=label: fired.append(label))
+        q.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(7.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [7.5]
+        assert q.now == 7.5
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10.0, lambda: q.schedule(5.0, lambda: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        times = []
+        q.schedule(10.0, lambda: q.schedule_after(5.0, lambda: times.append(q.now)))
+        q.run()
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                q.schedule_after(1.0, lambda: chain(n + 1))
+
+        q.schedule(0.0, lambda: chain(1))
+        q.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        event = q.schedule(1.0, lambda: fired.append("x"))
+        q.schedule(2.0, lambda: fired.append("y"))
+        event.cancel()
+        assert q.run() == 1
+        assert fired == ["y"]
+
+
+class TestGuards:
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule_after(1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="max_events"):
+            q.run(max_events=100)
+
+    def test_run_until_stops_at_deadline(self):
+        q = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            q.schedule(t, lambda t=t: fired.append(t))
+        assert q.run_until(2.5) == 2
+        assert fired == [1.0, 2.0]
+        assert q.now == 2.5
+        q.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_advances_clock_when_empty(self):
+        q = EventQueue()
+        q.run_until(100.0)
+        assert q.now == 100.0
+
+    def test_counters(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert q.pending == 2
+        q.run()
+        assert q.executed == 2
+        assert q.pending == 0

@@ -1,0 +1,77 @@
+"""The reliability assumption is load-bearing (A2 ablation).
+
+The paper's protocols assume a reliable exactly-once FIFO network.
+These tests show (a) the protocols stay audit-clean on the reliable
+network, (b) dropping messages loses updates, and (c) the idempotent
+apply layer absorbs duplicate deliveries (exactly-once is convenient
+but duplication is survivable thanks to action-id de-duplication).
+"""
+
+from tests.helpers import run_insert_workload
+from repro import DBTreeCluster, FaultPlan
+
+
+def faulty_cluster(plan, seed=3):
+    return DBTreeCluster(
+        num_processors=4,
+        protocol="semisync",
+        capacity=4,
+        seed=seed,
+        fault_plan=plan,
+    )
+
+
+class TestReliableBaseline:
+    def test_clean_without_faults(self):
+        cluster = faulty_cluster(None)
+        expected = run_insert_workload(cluster, count=200)
+        assert cluster.check(expected=expected).ok
+
+
+class TestDrops:
+    def test_dropped_relays_break_convergence(self):
+        plan = FaultPlan(drop_p=0.3, only_kinds=frozenset({"insert_relayed"}))
+        cluster = faulty_cluster(plan)
+        expected = run_insert_workload(cluster, count=200)
+        report = cluster.check(expected=expected)
+        assert not report.ok
+        assert cluster.kernel.network.stats.dropped > 0
+
+    def test_dropped_splits_break_the_tree(self):
+        plan = FaultPlan(drop_p=0.5, only_kinds=frozenset({"relayed_split"}))
+        cluster = faulty_cluster(plan)
+        expected = run_insert_workload(cluster, count=200)
+        report = cluster.check(expected=expected)
+        assert not report.ok
+
+
+class TestDuplicates:
+    def test_duplicate_relays_are_absorbed(self):
+        # Exactly-once is assumed by the paper, but the action-id
+        # de-duplication makes duplicated *relays* harmless.
+        plan = FaultPlan(
+            duplicate_p=0.5,
+            only_kinds=frozenset({"insert_relayed", "relayed_split"}),
+        )
+        cluster = faulty_cluster(plan)
+        expected = run_insert_workload(cluster, count=200)
+        report = cluster.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:10])
+        assert cluster.trace.counters.get("duplicate_relay_ignored", 0) > 0
+        assert cluster.kernel.network.stats.duplicated > 0
+
+
+class TestReordering:
+    def test_reordered_relays_flagged_by_counters(self):
+        plan = FaultPlan(
+            reorder_p=0.4,
+            reorder_delay=200.0,
+            only_kinds=frozenset({"insert_relayed", "relayed_split"}),
+        )
+        cluster = faulty_cluster(plan, seed=5)
+        expected = run_insert_workload(cluster, count=300)
+        report = cluster.check(expected=expected)
+        # FIFO violations surface as out-of-range relayed splits and
+        # fail the audit: the in-order assumption is load-bearing.
+        assert not report.ok
+        assert cluster.trace.counters.get("relayed_split_out_of_range", 0) > 0

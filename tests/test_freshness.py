@@ -1,0 +1,86 @@
+"""Read freshness under lazy replication.
+
+Lazy relaying means a replicated leaf can serve a read before an
+acknowledged insert's relay reaches it -- an honest (and measurable)
+trade-off of the approach.  Single-copy leaves (mobile / variable)
+have one copy to read, so reads there are never stale in this sense.
+"""
+
+from repro import DBTreeCluster
+from repro.stats import stale_reads
+
+
+def drive_read_after_write(cluster, pairs=120, gap=2.0):
+    """Insert from pid 0 and read from another pid ``gap`` later.
+
+    With remote-hop latency 10 and relays in flight, a small gap
+    makes the read race the relay.
+    """
+    expected = {}
+    for index in range(pairs):
+        key = index * 7 + 1
+        expected[key] = index
+        when = index * 25.0
+        cluster.schedule(when, "insert", key, index, client=0)
+        cluster.schedule(when + gap, "search", key, client=1 + index % 3)
+    cluster.run()
+    return expected
+
+
+class TestStaleReads:
+    def test_replicated_leaves_can_serve_stale_reads(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="semisync", capacity=8, seed=3
+        )
+        drive_read_after_write(cluster, gap=8.0)
+        result = stale_reads(cluster.trace)
+        # The insert acks locally after a few actions; its relays take
+        # >=10 units more; a read 8 units later at another copy wins
+        # the race and misses the write.
+        assert result["searches"] > 0
+        assert result["stale"] > 0
+
+    def test_single_copy_leaves_never_stale(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="variable", capacity=8, seed=3
+        )
+        drive_read_after_write(cluster, gap=8.0)
+        result = stale_reads(cluster.trace)
+        assert result["stale"] == 0
+
+    def test_mobile_never_stale(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="mobile", capacity=8, seed=3
+        )
+        drive_read_after_write(cluster, gap=8.0)
+        assert stale_reads(cluster.trace)["stale"] == 0
+
+    def test_vigorous_baseline_never_stale(self):
+        # The available-copies baseline's whole point: reads block
+        # during writes, so an acknowledged write is visible.
+        from repro.baselines import AvailableCopiesProtocol
+
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol=AvailableCopiesProtocol(),
+            capacity=8,
+            seed=3,
+        )
+        drive_read_after_write(cluster, gap=8.0)
+        assert stale_reads(cluster.trace)["stale"] == 0
+
+    def test_staleness_vanishes_with_a_wide_gap(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="semisync", capacity=8, seed=3
+        )
+        drive_read_after_write(cluster, gap=15.0)
+        # Relays (latency 10 + queueing) have landed well before the
+        # read: eventual consistency observed.
+        result = stale_reads(cluster.trace)
+        assert result["stale"] == 0
+
+    def test_no_searches_no_staleness(self):
+        cluster = DBTreeCluster(num_processors=2, capacity=8, seed=1)
+        cluster.insert_sync(1, "x")
+        result = stale_reads(cluster.trace)
+        assert result == {"searches": 0, "stale": 0, "stale_fraction": 0.0}

@@ -1,0 +1,158 @@
+"""Hash-table buckets and the directory replica."""
+
+import pytest
+
+from repro.hash.bucket import MAX_DEPTH, Bucket, hash_key
+from repro.hash.directory import DirectoryReplica
+
+
+def make_bucket(prefix=0, depth=0, capacity=4, bucket_id=1):
+    return Bucket(
+        bucket_id=bucket_id,
+        prefix=prefix,
+        local_depth=depth,
+        capacity=capacity,
+        home_pid=0,
+    )
+
+
+class TestHashKey:
+    def test_stable_and_bounded(self):
+        assert hash_key("abc") == hash_key("abc")
+        assert 0 <= hash_key("abc") < (1 << MAX_DEPTH)
+        assert hash_key(1) != hash_key("1") or True  # both valid, just bounded
+
+    def test_spread(self):
+        hashes = {hash_key(f"key-{i}") & 0xFF for i in range(1000)}
+        assert len(hashes) > 200  # low bits well spread
+
+
+class TestBucket:
+    def test_insert_lookup_delete(self):
+        bucket = make_bucket()
+        assert bucket.insert("a", 1)
+        assert not bucket.insert("a", 2)  # overwrite
+        assert bucket.lookup("a") == 2
+        assert bucket.delete("a")
+        assert not bucket.delete("a")
+        assert bucket.lookup("a") is None
+
+    def test_overfull(self):
+        bucket = make_bucket(capacity=2)
+        for index in range(3):
+            bucket.insert(f"k{index}", index)
+        assert bucket.is_overfull
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_bucket(capacity=0)
+        with pytest.raises(ValueError):
+            make_bucket(depth=-1)
+
+    def test_split_partitions_by_bit(self):
+        bucket = make_bucket(capacity=2)
+        keys = [f"key-{i}" for i in range(40)]
+        for key in keys:
+            bucket.entries[key] = key
+        buddy = bucket.split(buddy_id=2, buddy_pid=1)
+        assert bucket.local_depth == buddy.local_depth == 1
+        assert buddy.prefix == 1 and bucket.prefix == 0
+        for key in bucket.entries:
+            assert hash_key(key) & 1 == 0
+        for key in buddy.entries:
+            assert hash_key(key) & 1 == 1
+        assert set(bucket.entries) | set(buddy.entries) == set(keys)
+        assert not set(bucket.entries) & set(buddy.entries)
+
+    def test_split_records_spawn_link(self):
+        bucket = make_bucket()
+        bucket.split(buddy_id=2, buddy_pid=3)
+        (link,) = bucket.spawned
+        assert link.bit == 0 and link.buddy_id == 2 and link.buddy_pid == 3
+
+    def test_owns_after_splits(self):
+        bucket = make_bucket(capacity=1)
+        keys = [f"key-{i}" for i in range(64)]
+        for key in keys:
+            bucket.entries[key] = key
+        buddies = [bucket.split(10 + i, 0) for i in range(3)]
+        for key in bucket.entries:
+            assert bucket.owns(hash_key(key))
+            assert bucket.forward_target(hash_key(key)) is None
+        for buddy in buddies:
+            for key in buddy.entries:
+                assert not bucket.owns(hash_key(key))
+                link = bucket.forward_target(hash_key(key))
+                assert link is not None  # first hop toward the owner
+
+    def test_forward_chain_reaches_owner(self):
+        # Split repeatedly and verify every key is reachable from the
+        # original bucket through spawn links.
+        root = make_bucket(capacity=1)
+        keys = [f"key-{i}" for i in range(200)]
+        for key in keys:
+            root.entries[key] = key
+        index = {root.bucket_id: root}
+        next_id = 2
+        frontier = [root]
+        while frontier:
+            bucket = frontier.pop()
+            if len(bucket.entries) <= 4 or bucket.local_depth > 10:
+                continue
+            buddy = bucket.split(next_id, 0)
+            next_id += 1
+            index[buddy.bucket_id] = buddy
+            frontier.extend([bucket, buddy])
+        for key in keys:
+            hashed = hash_key(key)
+            bucket = root
+            hops = 0
+            while True:
+                link = bucket.forward_target(hashed)
+                if link is None:
+                    break
+                bucket = index[link.buddy_id]
+                hops += 1
+                assert hops < 30
+            assert bucket.owns(hashed)
+            assert key in bucket.entries
+
+
+class TestDirectoryReplica:
+    def test_learn_and_lookup(self):
+        directory = DirectoryReplica()
+        assert directory.learn(0, 0, 1, 0)
+        assert not directory.learn(0, 0, 1, 0)  # already known
+        assert directory.lookup(0b1011) == (1, 0)
+
+    def test_deepest_fact_wins(self):
+        directory = DirectoryReplica()
+        directory.learn(0, 0, 1, 0)
+        directory.learn(1, 0b1, 2, 1)
+        assert directory.lookup(0b10) == (1, 0)   # even: depth-1 miss, fall back
+        assert directory.lookup(0b11) == (2, 1)   # odd: depth-1 hit
+
+    def test_shallow_fallback_when_deep_missing(self):
+        directory = DirectoryReplica()
+        directory.learn(0, 0, 1, 0)
+        directory.learn(2, 0b10, 3, 2)
+        assert directory.lookup(0b110) == (3, 2)
+        assert directory.lookup(0b100) == (1, 0)  # no (2, 00) fact: fallback
+
+    def test_conflicting_fact_rejected(self):
+        directory = DirectoryReplica()
+        directory.learn(1, 1, 2, 1)
+        with pytest.raises(ValueError):
+            directory.learn(1, 1, 99, 1)
+
+    def test_bad_fact_rejected(self):
+        with pytest.raises(ValueError):
+            DirectoryReplica().learn(1, 2, 1, 0)  # prefix out of range
+
+    def test_fingerprint_and_facts(self):
+        a, b = DirectoryReplica(), DirectoryReplica()
+        for directory in (a, b):
+            directory.learn(0, 0, 1, 0)
+            directory.learn(1, 1, 2, 1)
+        assert a.fingerprint() == b.fingerprint()
+        assert list(a.facts()) == [(0, 0, 1, 0), (1, 1, 2, 1)]

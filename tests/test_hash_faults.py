@@ -1,0 +1,93 @@
+"""Fault tolerance of the hash directory: a contrast with the tree.
+
+The A2 ablation shows the dB-tree protocols *need* reliable in-order
+delivery.  The hash table's directory maintenance is different by
+construction: directory facts form a grow-only set (add-only,
+idempotent, order-independent -- depth is the version), and every
+miss is repaired by split-link forwarding plus a correction.  So the
+directory layer tolerates dropped, duplicated, AND reordered
+announcements -- a structural property worth demonstrating, not just
+asserting.
+
+(The guarantees needed elsewhere still stand: bucket creation and the
+operations themselves ride the reliable channels in these tests.)
+"""
+
+from repro import FaultPlan
+from repro.hash import LazyHashTable
+
+DIR_KINDS = frozenset({"dir_update"})
+
+
+def faulty_table(plan, mode="lazy", seed=5):
+    return LazyHashTable(
+        num_processors=4, capacity=4, mode=mode, seed=seed, fault_plan=plan
+    )
+
+
+def load(table, count=300):
+    expected = {}
+    for index in range(count):
+        key = f"key-{index}"
+        expected[key] = index
+        table.insert(key, index, client=index % 4)
+    table.run()
+    # A read sweep lets corrections repair whatever the faults broke.
+    for index in range(count):
+        table.search(f"key-{index}", client=(index + 1) % 4)
+    table.run()
+    return expected
+
+
+class TestDirectoryFaultTolerance:
+    def test_dropped_announcements_are_repaired_by_corrections(self):
+        plan = FaultPlan(drop_p=0.5, only_kinds=DIR_KINDS)
+        table = faulty_table(plan)
+        expected = load(table)
+        assert table.kernel.network.stats.dropped > 0
+        report = table.check(expected=expected)
+        # Convergence may be broken (facts lost forever on replicas
+        # that never misrouted), but nothing is ever lost or wrong:
+        data_checks = [
+            p
+            for p in report.problems
+            if not p.startswith("[directory-convergence]")
+        ]
+        assert data_checks == [], "\n".join(data_checks[:5])
+        assert table.trace.counters.get("hash_corrections_sent", 0) > 0
+
+    def test_duplicated_announcements_are_idempotent(self):
+        plan = FaultPlan(duplicate_p=0.7, only_kinds=DIR_KINDS)
+        table = faulty_table(plan)
+        expected = load(table)
+        assert table.kernel.network.stats.duplicated > 0
+        report = table.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])
+        assert table.trace.counters.get("dir_update_stale", 0) > 0
+
+    def test_reordered_announcements_are_harmless(self):
+        # Facts are independent (one per (depth, prefix)); order never
+        # mattered -- unlike the tree's relayed splits.
+        plan = FaultPlan(reorder_p=0.6, reorder_delay=200.0, only_kinds=DIR_KINDS)
+        table = faulty_table(plan)
+        expected = load(table)
+        report = table.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])
+
+    def test_all_three_at_once(self):
+        plan = FaultPlan(
+            drop_p=0.2,
+            duplicate_p=0.3,
+            reorder_p=0.3,
+            reorder_delay=150.0,
+            only_kinds=DIR_KINDS,
+        )
+        table = faulty_table(plan, seed=9)
+        expected = load(table)
+        report = table.check(expected=expected)
+        data_checks = [
+            p
+            for p in report.problems
+            if not p.startswith("[directory-convergence]")
+        ]
+        assert data_checks == [], "\n".join(data_checks[:5])

@@ -1,0 +1,131 @@
+"""Property-based tests for the lazy hash table."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hash import LazyHashTable
+from repro.hash.bucket import Bucket, hash_key
+from repro.hash.directory import DirectoryReplica
+
+
+class TestBucketProperties:
+    @given(keys=st.sets(st.text(min_size=1, max_size=12), min_size=2, max_size=60))
+    def test_split_partitions_and_conserves(self, keys):
+        bucket = Bucket(
+            bucket_id=1, prefix=0, local_depth=0, capacity=1, home_pid=0
+        )
+        for key in keys:
+            bucket.entries[key] = key
+        buddy = bucket.split(buddy_id=2, buddy_pid=1)
+        assert set(bucket.entries) | set(buddy.entries) == keys
+        assert not set(bucket.entries) & set(buddy.entries)
+        for key in bucket.entries:
+            assert bucket.owns(hash_key(key))
+        for key in buddy.entries:
+            assert buddy.owns(hash_key(key))
+
+    @given(
+        keys=st.sets(st.integers(0, 10**6), min_size=4, max_size=80),
+        splits=st.integers(min_value=1, max_value=6),
+    )
+    def test_split_chain_preserves_reachability(self, keys, splits):
+        root = Bucket(bucket_id=1, prefix=0, local_depth=0, capacity=1, home_pid=0)
+        for key in keys:
+            root.entries[key] = key
+        index = {1: root}
+        work = [root]
+        next_id = 2
+        for _ in range(splits):
+            work.sort(key=lambda b: -len(b.entries))
+            bucket = work[0]
+            if bucket.local_depth > 20:
+                break
+            buddy = bucket.split(next_id, 0)
+            index[next_id] = buddy
+            next_id += 1
+            work.append(buddy)
+        for key in keys:
+            hashed = hash_key(key)
+            bucket = root
+            hops = 0
+            while (link := bucket.forward_target(hashed)) is not None:
+                bucket = index[link.buddy_id]
+                hops += 1
+                assert hops <= splits
+            assert key in bucket.entries
+
+
+class TestDirectoryProperties:
+    @given(
+        facts=st.lists(
+            st.integers(min_value=0, max_value=6),  # depths
+            min_size=1,
+            max_size=10,
+            unique=True,
+        ),
+        probe=st.integers(min_value=0, max_value=2**10 - 1),
+    )
+    def test_lookup_returns_deepest_matching_fact(self, facts, probe):
+        directory = DirectoryReplica()
+        for depth in facts:
+            prefix = probe & ((1 << depth) - 1)
+            directory.learn(depth, prefix, 100 + depth, 0)
+        hit = directory.lookup(probe)
+        assert hit == (100 + max(facts), 0)
+
+
+class TestTableProperties:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10**6),
+        mode=st.sampled_from(["lazy", "correction", "sync"]),
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "search"]),
+                st.integers(0, 40),
+            ),
+            min_size=5,
+            max_size=120,
+        ),
+    )
+    def test_random_sequential_ops_match_dict(self, seed, mode, operations):
+        table = LazyHashTable(num_processors=4, capacity=3, mode=mode, seed=seed)
+        model: dict = {}
+        for index, (kind, key_n) in enumerate(operations):
+            key = f"k{key_n}"
+            client = index % 4
+            if kind == "insert":
+                table.insert_sync(key, index, client=client)
+                model[key] = index
+            elif kind == "delete":
+                assert table.delete_sync(key, client=client) == (key in model)
+                model.pop(key, None)
+            else:
+                assert table.search_sync(key, client=client) == model.get(key)
+        report = table.check(expected=model)
+        assert report.ok, "\n".join(report.problems[:10])
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10**6),
+        count=st.integers(10, 150),
+        mode=st.sampled_from(["lazy", "correction", "sync"]),
+    )
+    def test_concurrent_insert_bursts_audit_clean(self, seed, count, mode):
+        table = LazyHashTable(num_processors=4, capacity=4, mode=mode, seed=seed)
+        expected = {}
+        for index in range(count):
+            key = f"key-{index}"
+            expected[key] = index
+            table.insert(key, index, client=index % 4)
+        table.run()
+        report = table.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:10])

@@ -1,0 +1,187 @@
+"""The Section 3 formalism, including the paper's commutativity table.
+
+The four commutativity facts of Section 4.1 are stated as executable
+assertions against the reference SimpleNode semantics:
+
+1. any two insert actions commute,
+2. half-splits do not commute with each other,
+3. relayed half-splits commute with relayed inserts but not with
+   initial inserts,
+4. initial half-splits do not commute with relayed inserts.
+"""
+
+import pytest
+
+from repro.core.actions import Mode
+from repro.core.history import (
+    HAction,
+    History,
+    InvalidHistoryError,
+    SimpleNode,
+    SimpleNodeSemantics,
+    commutes,
+    compatible,
+    is_ordered,
+)
+from repro.core.keys import NEG_INF, POS_INF
+
+SEM = SimpleNodeSemantics()
+
+
+def node(keys=(), low=NEG_INF, high=POS_INF, right=None):
+    return SimpleNode(low=low, high=high, keys=frozenset(keys), right_id=right)
+
+
+def ins(key, mode=Mode.INITIAL, action_id=1):
+    return HAction("insert", key, mode, action_id)
+
+
+def split(sep, sibling=99, mode=Mode.INITIAL, action_id=2):
+    return HAction("half_split", (sep, sibling), mode, action_id)
+
+
+class TestSemantics:
+    def test_initial_insert_in_range(self):
+        result = SEM.apply(node(), ins(5))
+        assert 5 in result.value.keys
+        assert ("relay_insert", 5, 1) in result.subsequent
+
+    def test_initial_insert_out_of_range_invalid(self):
+        assert SEM.apply(node(high=3), ins(5)) is None
+
+    def test_relayed_insert_out_of_range_discards(self):
+        result = SEM.apply(node(high=3), ins(5, Mode.RELAYED))
+        assert result is not None
+        assert result.value == node(high=3)
+        assert result.subsequent == frozenset()
+
+    def test_initial_split_effects(self):
+        start = node(keys=(1, 5, 9))
+        result = SEM.apply(start, split(5, sibling=42))
+        assert result.value == SimpleNode(NEG_INF, 5, frozenset({1}), 42)
+        assert ("create_sibling", 42, frozenset({5, 9})) in result.subsequent
+        assert ("insert_parent", 5, 42) in result.subsequent
+
+    def test_relayed_split_has_no_subsequent_actions(self):
+        result = SEM.apply(node(keys=(1, 9)), split(5, mode=Mode.RELAYED))
+        assert result.subsequent == frozenset()
+        assert result.value.keys == frozenset({1})
+
+    def test_split_outside_range_invalid(self):
+        assert SEM.apply(node(high=3), split(5)) is None
+
+    def test_search_is_non_update(self):
+        action = HAction("search", 5, Mode.INITIAL, 3)
+        assert not SEM.is_update(action)
+        result = SEM.apply(node(keys=(5,)), action)
+        assert ("found", True) in result.subsequent
+
+
+class TestCommutativityTable:
+    """The paper's Section 4.1 items 1-4."""
+
+    def test_item1_inserts_commute(self):
+        start = node(keys=(1,))
+        for mode_a in Mode:
+            for mode_b in Mode:
+                assert commutes(
+                    start, ins(5, mode_a, 10), ins(7, mode_b, 11), SEM
+                ), f"{mode_a} insert should commute with {mode_b} insert"
+
+    def test_item2_half_splits_do_not_commute(self):
+        start = node(keys=(1, 4, 7))
+        assert not commutes(start, split(3, 50, action_id=20), split(6, 51, action_id=21), SEM)
+
+    def test_item3_relayed_split_commutes_with_relayed_insert(self):
+        start = node(keys=(1,))
+        relayed_split = split(4, 50, Mode.RELAYED, 20)
+        # Key above the separator: moved either way.
+        assert commutes(start, relayed_split, ins(6, Mode.RELAYED, 21), SEM)
+        # Key below the separator: kept either way.
+        assert commutes(start, relayed_split, ins(2, Mode.RELAYED, 22), SEM)
+
+    def test_item3_relayed_split_conflicts_with_initial_insert(self):
+        start = node(keys=(1,))
+        relayed_split = split(4, 50, Mode.RELAYED, 20)
+        # insert(6) before the split is valid; after it, invalid.
+        assert not commutes(start, ins(6, Mode.INITIAL, 21), relayed_split, SEM)
+
+    def test_item4_initial_split_conflicts_with_relayed_insert(self):
+        start = node(keys=(1,))
+        initial_split = split(4, 50, Mode.INITIAL, 20)
+        # The sibling's original value differs depending on order.
+        assert not commutes(start, initial_split, ins(6, Mode.RELAYED, 21), SEM)
+
+
+class TestHistories:
+    def test_replay_and_final_value(self):
+        h = History.of(node(), [ins(1, action_id=1), ins(2, Mode.RELAYED, 2)])
+        assert h.final_value(SEM).keys == frozenset({1, 2})
+
+    def test_invalid_history_raises(self):
+        h = History.of(node(high=3), [ins(9, action_id=1)])
+        with pytest.raises(InvalidHistoryError):
+            h.replay(SEM)
+        assert not h.is_valid(SEM)
+
+    def test_uniform_updates_strip_modes(self):
+        h1 = History.of(node(), [ins(1, Mode.INITIAL, 7)])
+        h2 = History.of(node(), [ins(1, Mode.RELAYED, 7)])
+        assert h1.uniform_updates(SEM) == h2.uniform_updates(SEM)
+
+    def test_non_updates_excluded_from_uniform(self):
+        h = History.of(node(), [HAction("search", 1, Mode.INITIAL, 9)])
+        assert not h.uniform_updates(SEM)
+
+    def test_compatible_same_value_same_updates(self):
+        a, b = ins(1, action_id=1), ins(2, action_id=2)
+        h1 = History.of(node(), [a, b])
+        h2 = History.of(
+            node(),
+            [ins(2, Mode.RELAYED, 2), ins(1, Mode.RELAYED, 1)],
+        )
+        assert compatible(h1, h2, SEM)
+
+    def test_incompatible_on_different_updates(self):
+        h1 = History.of(node(), [ins(1, action_id=1)])
+        h2 = History.of(node(), [ins(1, action_id=99)])
+        assert not compatible(h1, h2, SEM)
+
+    def test_backwards_extension(self):
+        prefix = History.of(node(), [ins(1, action_id=1)])
+        suffix = History.of(prefix.final_value(SEM), [ins(2, action_id=2)])
+        extended = suffix.backwards_extend(prefix, SEM)
+        assert extended.final_value(SEM) == suffix.final_value(SEM)
+        assert len(extended.actions) == 2
+
+    def test_backwards_extension_requires_matching_value(self):
+        prefix = History.of(node(), [ins(1, action_id=1)])
+        unrelated = History.of(node(keys=(9,)), [ins(2, action_id=2)])
+        with pytest.raises(ValueError):
+            unrelated.backwards_extend(prefix, SEM)
+
+    def test_append_is_pure(self):
+        h = History.of(node(), [])
+        h2 = h.append(ins(1, action_id=1))
+        assert not h.actions and len(h2.actions) == 1
+
+
+class TestOrderedHistories:
+    def test_ordered_check(self):
+        changes = [
+            HAction("link_change", ("left", v), Mode.INITIAL, v) for v in (1, 2, 5)
+        ]
+        in_class = lambda a: a.name == "link_change"
+        order_key = lambda a: a.param[1]
+        assert is_ordered(changes, in_class, order_key)
+        assert not is_ordered(list(reversed(changes)), in_class, order_key)
+
+    def test_other_actions_ignored(self):
+        mixed = [
+            HAction("link_change", ("left", 2), Mode.INITIAL, 1),
+            ins(5, action_id=2),
+            HAction("link_change", ("left", 3), Mode.INITIAL, 3),
+        ]
+        assert is_ordered(
+            mixed, lambda a: a.name == "link_change", lambda a: a.param[1]
+        )

@@ -1,0 +1,51 @@
+"""The Figure 4 strawman: the naive protocol measurably loses inserts."""
+
+from tests.helpers import run_insert_workload
+from repro import DBTreeCluster
+from repro.verify.checker import leaf_contents
+
+
+def run_protocol(protocol, seed=7, count=300):
+    cluster = DBTreeCluster(
+        num_processors=4, protocol=protocol, capacity=4, seed=seed
+    )
+    expected = run_insert_workload(
+        cluster, count=count, key_fn=lambda i: (i * 7) % 2003
+    )
+    actual = leaf_contents(cluster.engine)
+    lost = sorted(k for k in expected if k not in actual)
+    return cluster, expected, lost
+
+
+class TestLostInserts:
+    def test_naive_loses_keys_under_concurrency(self):
+        cluster, _expected, lost = run_protocol("naive")
+        assert lost, "the strawman should lose keys under a concurrent burst"
+        assert cluster.trace.counters.get("naive_dropped_updates", 0) > 0
+
+    def test_semisync_same_workload_loses_nothing(self):
+        _cluster, expected, lost = run_protocol("semisync")
+        assert lost == []
+        assert expected  # sanity: the workload inserted keys
+
+    def test_loss_correlates_with_dropped_relays(self):
+        cluster, _expected, lost = run_protocol("naive")
+        dropped = cluster.trace.counters.get("naive_dropped_updates", 0)
+        # Each lost key stems from at least one dropped relay.
+        assert dropped >= len(lost)
+
+    def test_naive_is_fine_without_concurrency(self):
+        # Spaced-out operations never race a split: the bug needs
+        # concurrency to bite, exactly as Figure 4 describes.
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="naive", capacity=4, seed=7
+        )
+        expected = run_insert_workload(cluster, count=60, concurrent=False)
+        actual = leaf_contents(cluster.engine)
+        assert sorted(k for k in expected if k not in actual) == []
+
+    def test_naive_compatible_check_flags_the_problem(self):
+        cluster, expected, lost = run_protocol("naive")
+        report = cluster.check(expected=expected)
+        assert not report.ok
+        assert any("missing" in p or "expected key" in p for p in report.problems)

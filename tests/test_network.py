@@ -1,0 +1,151 @@
+"""The reliable FIFO network: ordering, accounting, faults."""
+
+import random
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.failure import FaultPlan
+from repro.sim.network import (
+    Network,
+    NetworkStats,
+    TopologyLatency,
+    UniformLatency,
+    message_kind,
+)
+
+
+class Tagged:
+    kind = "tagged"
+
+
+def make_net(latency=None, fault_plan=None, seed=0):
+    events = EventQueue()
+    net = Network(
+        events,
+        latency_model=latency or UniformLatency(base=10.0),
+        rng=random.Random(seed),
+        fault_plan=fault_plan,
+    )
+    delivered = []
+    net.install_delivery(lambda dst, payload: delivered.append((events.now, dst, payload)))
+    return events, net, delivered
+
+
+class TestDelivery:
+    def test_basic_delivery_with_latency(self):
+        events, net, delivered = make_net()
+        net.send(0, 1, "hello")
+        events.run()
+        assert delivered == [(10.0, 1, "hello")]
+
+    def test_send_without_callback_rejected(self):
+        net = Network(EventQueue())
+        with pytest.raises(RuntimeError):
+            net.send(0, 1, "x")
+
+    def test_self_send_rejected(self):
+        _events, net, _delivered = make_net()
+        with pytest.raises(ValueError):
+            net.send(2, 2, "loop")
+
+    def test_fifo_per_channel_under_jitter(self):
+        events, net, delivered = make_net(
+            latency=UniformLatency(base=5.0, jitter=20.0)
+        )
+        for index in range(50):
+            net.send(0, 1, index)
+        events.run()
+        payloads = [p for _t, _d, p in delivered]
+        assert payloads == list(range(50))
+
+    def test_channels_are_independent(self):
+        events, net, delivered = make_net(
+            latency=TopologyLatency(pairs={(0, 1): 100.0}, default=1.0)
+        )
+        net.send(0, 1, "slow")
+        net.send(0, 2, "fast")
+        events.run()
+        assert [p for _t, _d, p in delivered] == ["fast", "slow"]
+
+    def test_later_send_not_delivered_before_earlier_same_channel(self):
+        # Decreasing latency draws must not reorder a channel.
+        events, net, delivered = make_net(
+            latency=UniformLatency(base=1.0, jitter=50.0), seed=3
+        )
+        send_times = [0.0, 1.0, 2.0]
+        for index, when in enumerate(send_times):
+            events.schedule(when, lambda i=index: net.send(0, 1, i))
+        events.run()
+        assert [p for _t, _d, p in delivered] == [0, 1, 2]
+        times = [t for t, _d, _p in delivered]
+        assert times == sorted(times)
+
+
+class TestAccounting:
+    def test_counts_by_kind_and_channel(self):
+        events, net, _delivered = make_net()
+        net.send(0, 1, Tagged())
+        net.send(0, 1, Tagged())
+        net.send(1, 0, "plain string")
+        events.run()
+        stats = net.stats
+        assert stats.sent == 3
+        assert stats.delivered == 3
+        assert stats.by_kind["tagged"] == 2
+        assert stats.by_kind["str"] == 1
+        assert stats.by_channel[(0, 1)] == 2
+
+    def test_message_kind_fallback(self):
+        assert message_kind(Tagged()) == "tagged"
+        assert message_kind(123) == "int"
+
+    def test_reset_stats(self):
+        events, net, _delivered = make_net()
+        net.send(0, 1, "x")
+        events.run()
+        net.reset_stats()
+        assert net.stats.sent == 0
+
+    def test_snapshot_is_plain_data(self):
+        snap = NetworkStats().snapshot()
+        assert snap["sent"] == 0
+        assert isinstance(snap["by_kind"], dict)
+
+
+class TestFaults:
+    def test_drop_all(self):
+        events, net, delivered = make_net(fault_plan=FaultPlan(drop_p=1.0))
+        net.send(0, 1, "gone")
+        events.run()
+        assert delivered == []
+        assert net.stats.dropped == 1
+
+    def test_duplicate_all(self):
+        events, net, delivered = make_net(fault_plan=FaultPlan(duplicate_p=1.0))
+        net.send(0, 1, "twice")
+        events.run()
+        assert len(delivered) == 2
+        assert net.stats.duplicated == 1
+
+    def test_fault_kind_filter(self):
+        plan = FaultPlan(drop_p=1.0, only_kinds=frozenset({"tagged"}))
+        events, net, delivered = make_net(fault_plan=plan)
+        net.send(0, 1, Tagged())
+        net.send(0, 1, "kept")
+        events.run()
+        assert [p for _t, _d, p in delivered] == ["kept"]
+
+    def test_reorder_can_break_fifo(self):
+        plan = FaultPlan(reorder_p=1.0, reorder_delay=100.0)
+        events, net, delivered = make_net(fault_plan=plan, seed=1)
+        for index in range(10):
+            net.send(0, 1, index)
+        events.run()
+        payloads = [p for _t, _d, p in delivered]
+        assert sorted(payloads) == list(range(10))
+        assert payloads != list(range(10))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_p=1.5)

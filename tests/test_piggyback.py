@@ -1,0 +1,76 @@
+"""Relay batching (the piggybacking model)."""
+
+import pytest
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster
+from repro.core.piggyback import RelayBatcher
+
+
+class TestBatcherUnit:
+    def test_window_validation(self):
+        cluster = DBTreeCluster(num_processors=2, seed=1)
+        with pytest.raises(ValueError):
+            RelayBatcher(cluster.engine, window=0.0)
+
+    def test_client_parameter_wires_batcher(self):
+        plain = DBTreeCluster(num_processors=2, seed=1)
+        assert plain.engine.relay_batcher is None
+        batched = DBTreeCluster(num_processors=2, seed=1, relay_batch_window=5.0)
+        assert batched.engine.relay_batcher is not None
+        assert batched.engine.relay_batcher.window == 5.0
+
+
+class TestBatchedRuns:
+    def test_correctness_preserved(self):
+        cluster = DBTreeCluster(
+            num_processors=4, capacity=4, seed=3, relay_batch_window=25.0
+        )
+        expected = run_insert_workload(cluster, count=250)
+        assert_clean(cluster, expected=expected)
+
+    def test_messages_reduced(self):
+        def total(window):
+            cluster = DBTreeCluster(
+                num_processors=4, capacity=4, seed=3, relay_batch_window=window
+            )
+            run_insert_workload(cluster, count=250)
+            return cluster.kernel.network.stats.sent
+
+        assert total(25.0) < 0.7 * total(None)
+
+    def test_batch_accounting(self):
+        cluster = DBTreeCluster(
+            num_processors=4, capacity=4, seed=3, relay_batch_window=25.0
+        )
+        run_insert_workload(cluster, count=250)
+        batcher = cluster.engine.relay_batcher
+        assert batcher.batches_sent > 0
+        assert batcher.relays_batched > batcher.batches_sent  # >1 per batch
+        by_kind = cluster.kernel.network.stats.by_kind
+        assert by_kind.get("batched_relays", 0) == batcher.batches_sent
+        # No raw relayed-insert messages travel when batching is on.
+        assert by_kind.get("insert_relayed", 0) == 0
+
+    def test_same_final_state_as_unbatched(self):
+        def fingerprints(window):
+            cluster = DBTreeCluster(
+                num_processors=4, capacity=4, seed=3, relay_batch_window=window
+            )
+            run_insert_workload(cluster, count=200)
+            from repro.verify.checker import leaf_contents
+
+            return leaf_contents(cluster.engine)
+
+        assert fingerprints(None) == fingerprints(30.0)
+
+    def test_batching_works_for_sync_protocol_too(self):
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol="sync",
+            capacity=4,
+            seed=3,
+            relay_batch_window=20.0,
+        )
+        expected = run_insert_workload(cluster, count=200)
+        assert_clean(cluster, expected=expected)

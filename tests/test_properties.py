@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DBTreeCluster
+from repro.core.actions import Mode
+from repro.core.history import (
+    HAction,
+    History,
+    SimpleNode,
+    SimpleNodeSemantics,
+    commutes,
+    compatible,
+)
+from repro.core.keys import NEG_INF, POS_INF, KeyRange, key_le, key_lt
+from repro.core.node import NodeCopy
+
+SEM = SimpleNodeSemantics()
+
+keys_st = st.integers(min_value=-1000, max_value=1000)
+bounds_st = st.one_of(st.just(NEG_INF), keys_st, st.just(POS_INF))
+
+
+class TestKeyOrderProperties:
+    @given(a=bounds_st, b=bounds_st)
+    def test_trichotomy(self, a, b):
+        relations = [key_lt(a, b), key_lt(b, a), a == b]
+        assert sum(bool(r) for r in relations) == 1
+
+    @given(a=bounds_st, b=bounds_st, c=bounds_st)
+    def test_transitivity(self, a, b, c):
+        if key_lt(a, b) and key_lt(b, c):
+            assert key_lt(a, c)
+
+    @given(a=bounds_st, b=bounds_st)
+    def test_le_is_negation_of_reverse_lt(self, a, b):
+        assert key_le(a, b) == (not key_lt(b, a))
+
+
+class TestKeyRangeProperties:
+    @given(low=bounds_st, high=bounds_st, key=keys_st)
+    def test_split_partitions_membership(self, low, high, key):
+        if not key_lt(low, high):
+            return
+        r = KeyRange(low, high)
+        # Pick a separator strictly inside when possible.
+        if not (key_lt(low, key) and key_lt(key, high)):
+            return
+        lower, upper = r.split_at(key)
+        for probe in range(-1000, 1001, 97):
+            assert r.contains(probe) == (
+                lower.contains(probe) or upper.contains(probe)
+            )
+            assert not (lower.contains(probe) and upper.contains(probe))
+
+
+class TestNodeVsDictModel:
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), keys_st),
+            max_size=60,
+        )
+    )
+    def test_node_matches_dict(self, operations):
+        node = NodeCopy(
+            node_id=1,
+            level=0,
+            key_range=KeyRange.full(),
+            pc_pid=0,
+            copy_versions={0: 0},
+            capacity=10**9,
+        )
+        model = {}
+        for kind, key in operations:
+            if kind == "insert":
+                node.insert_entry(key, key * 2)
+                model[key] = key * 2
+            else:
+                node.delete_entry(key)
+                model.pop(key, None)
+        assert dict(node.entries()) == model
+        assert list(node.keys()) == sorted(model)
+
+    @given(
+        keys=st.sets(keys_st, min_size=2, max_size=40),
+    )
+    def test_split_conserves_entries(self, keys):
+        node = NodeCopy(
+            node_id=1,
+            level=0,
+            key_range=KeyRange.full(),
+            pc_pid=0,
+            copy_versions={0: 0},
+            capacity=10**9,
+        )
+        for key in keys:
+            node.insert_entry(key, key)
+        separator = node.choose_separator()
+        moved = node.apply_half_split(separator, sibling_id=2)
+        kept = set(node.keys())
+        gone = {k for k, _v in moved}
+        assert kept | gone == keys
+        assert not kept & gone
+        assert all(key_lt(k, separator) for k in kept)
+        assert all(key_le(separator, k) for k in gone)
+
+
+class TestHistoryAlgebra:
+    actions_st = st.lists(
+        st.builds(
+            HAction,
+            name=st.just("insert"),
+            param=keys_st,
+            mode=st.sampled_from([Mode.INITIAL, Mode.RELAYED]),
+            action_id=st.integers(min_value=1, max_value=50),
+        ),
+        max_size=20,
+    )
+
+    @given(actions=actions_st)
+    def test_insert_histories_are_permutation_compatible(self, actions):
+        start = SimpleNode(NEG_INF, POS_INF, frozenset())
+        h1 = History.of(start, actions)
+        h2 = History.of(start, list(reversed(actions)))
+        # All inserts on a full-range node commute: any permutation
+        # is compatible (same final value, same uniform updates).
+        assert compatible(h1, h2, SEM)
+
+    @given(
+        key_a=keys_st,
+        key_b=keys_st,
+        mode_a=st.sampled_from([Mode.INITIAL, Mode.RELAYED]),
+        mode_b=st.sampled_from([Mode.INITIAL, Mode.RELAYED]),
+    )
+    def test_insert_commutativity_is_universal(self, key_a, key_b, mode_a, mode_b):
+        start = SimpleNode(NEG_INF, POS_INF, frozenset())
+        a = HAction("insert", key_a, mode_a, 1)
+        b = HAction("insert", key_b, mode_b, 2)
+        assert commutes(start, a, b, SEM)
+
+    @given(
+        keys=st.sets(keys_st, min_size=1, max_size=10),
+        separator=keys_st,
+    )
+    def test_relayed_split_commutes_with_relayed_inserts(self, keys, separator):
+        start = SimpleNode(NEG_INF, POS_INF, frozenset(keys))
+        split = HAction("half_split", (separator, 9), Mode.RELAYED, 99)
+        for index, key in enumerate(sorted(keys)):
+            insert = HAction("insert", key + 1, Mode.RELAYED, 100 + index)
+            assert commutes(start, split, insert, SEM)
+
+
+class TestEndToEndProperties:
+    """Random concurrent workloads must always pass the full audit."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        protocol=st.sampled_from(["semisync", "sync", "variable", "mobile"]),
+        key_seed=st.integers(min_value=0, max_value=10**6),
+        count=st.integers(min_value=20, max_value=120),
+        capacity=st.sampled_from([4, 6, 8]),
+    )
+    def test_random_insert_bursts_are_audit_clean(
+        self, seed, protocol, key_seed, count, capacity
+    ):
+        import random
+
+        cluster = DBTreeCluster(
+            num_processors=4, protocol=protocol, capacity=capacity, seed=seed
+        )
+        rng = random.Random(key_seed)
+        keys = rng.sample(range(100_000), count)
+        expected = {}
+        for index, key in enumerate(keys):
+            expected[key] = index
+            cluster.insert(key, index, client=index % 4)
+        cluster.run()
+        report = cluster.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:10])
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        band=st.tuples(
+            st.integers(min_value=0, max_value=50_000),
+            st.integers(min_value=100, max_value=40_000),
+        ),
+    )
+    def test_free_at_empty_random_band_deletions_audit_clean(self, seed, band):
+        import random
+
+        from repro.protocols.variable import VariableCopiesProtocol
+
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol=VariableCopiesProtocol(free_at_empty=True),
+            capacity=4,
+            seed=seed,
+        )
+        rng = random.Random(seed + 5)
+        keys = rng.sample(range(100_000), 120)
+        expected = {}
+        for index, key in enumerate(keys):
+            expected[key] = index
+            cluster.insert(key, index, client=index % 4)
+        cluster.run()
+        low, span = band
+        victims = [k for k in sorted(expected) if low <= k < low + span]
+        for index, key in enumerate(victims):
+            cluster.delete(key, client=index % 4)
+            del expected[key]
+        cluster.run()
+        cluster.engine.gc_retired(older_than=float("inf"))
+        report = cluster.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:10])
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        delete_every=st.integers(min_value=2, max_value=5),
+    )
+    def test_random_insert_delete_mixes_are_audit_clean(self, seed, delete_every):
+        import random
+
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="semisync", capacity=4, seed=seed
+        )
+        rng = random.Random(seed + 1)
+        keys = rng.sample(range(100_000), 80)
+        expected = {}
+        for index, key in enumerate(keys):
+            expected[key] = index
+            cluster.insert(key, index, client=index % 4)
+        cluster.run()
+        for index, key in enumerate(list(expected)[::delete_every]):
+            cluster.delete(key, client=index % 4)
+            del expected[key]
+        cluster.run()
+        report = cluster.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:10])

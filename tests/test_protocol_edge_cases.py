@@ -1,0 +1,180 @@
+"""Protocol edge cases: consecutive splits, chained migrations,
+membership churn, and cross-protocol quirks."""
+
+import pytest
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster
+from repro.core.actions import JoinRequest, MigrateNode
+
+
+class TestSyncEdgeCases:
+    def test_deeply_overfull_node_splits_repeatedly(self):
+        # A node can need several consecutive AAS rounds.
+        cluster = DBTreeCluster(num_processors=4, protocol="sync", capacity=2, seed=5)
+        expected = run_insert_workload(cluster, count=200, key_fn=lambda i: i)
+        assert cluster.trace.counters["half_splits"] > 40
+        assert_clean(cluster, expected=expected)
+
+    def test_sync_on_single_processor_needs_no_aas(self):
+        cluster = DBTreeCluster(num_processors=1, protocol="sync", capacity=4, seed=5)
+        expected = run_insert_workload(cluster, count=100)
+        assert cluster.trace.counters.get("split_aas_started", 0) == 0
+        assert cluster.trace.counters["half_splits"] > 10
+        assert_clean(cluster, expected=expected)
+
+    def test_blocked_insert_rehomed_after_split(self):
+        # An insert blocked by a split AAS may be out of range when it
+        # resumes; it must forward right, not vanish.
+        cluster = DBTreeCluster(num_processors=4, protocol="sync", capacity=4, seed=11)
+        expected = run_insert_workload(cluster, count=400)
+        assert cluster.trace.counters.get("blocked_initial_updates", 0) > 0
+        assert_clean(cluster, expected=expected)
+
+
+class TestMobileEdgeCases:
+    def test_chained_migrations_of_one_leaf(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="mobile", capacity=4, seed=5)
+        expected = run_insert_workload(cluster, count=80)
+        leaf = sorted(
+            (c for c in cluster.engine.all_copies() if c.is_leaf),
+            key=lambda c: c.node_id,
+        )[0]
+        node_id = leaf.node_id
+        home = leaf.home_pid
+        for _hop in range(4):  # 4 consecutive moves around the ring
+            target = (home + 1) % 4
+            cluster.migrate_node(node_id, home, target)
+            cluster.run()
+            home = target
+        final = [c for c in cluster.engine.all_copies() if c.node_id == node_id]
+        assert [c.home_pid for c in final] == [home]
+        assert final[0].version == 4
+        assert_clean(cluster, expected=expected)
+
+    def test_migrate_back_to_origin(self):
+        cluster = DBTreeCluster(num_processors=2, protocol="mobile", capacity=4, seed=5)
+        expected = run_insert_workload(cluster, count=40)
+        leaf = sorted(
+            (c for c in cluster.engine.all_copies() if c.is_leaf),
+            key=lambda c: c.node_id,
+        )[0]
+        origin = leaf.home_pid
+        cluster.migrate_node(leaf.node_id, origin, 1 - origin)
+        cluster.run()
+        cluster.migrate_node(leaf.node_id, 1 - origin, origin)
+        cluster.run()
+        # The trace archives the first residence and tracks the return.
+        assert cluster.trace.archived_copies
+        assert_clean(cluster, expected=expected)
+
+    def test_migrate_to_self_is_a_noop(self):
+        cluster = DBTreeCluster(num_processors=2, protocol="mobile", capacity=4, seed=5)
+        expected = run_insert_workload(cluster, count=40)
+        leaf = sorted(
+            (c for c in cluster.engine.all_copies() if c.is_leaf),
+            key=lambda c: c.node_id,
+        )[0]
+        before = cluster.trace.counters.get("migrations", 0)
+        cluster.migrate_node(leaf.node_id, leaf.home_pid, leaf.home_pid)
+        cluster.run()
+        assert cluster.trace.counters.get("migrations", 0) == before
+        assert_clean(cluster, expected=expected)
+
+    def test_migrate_missing_node_counted(self):
+        cluster = DBTreeCluster(num_processors=2, protocol="mobile", capacity=4, seed=5)
+        run_insert_workload(cluster, count=20)
+        cluster.kernel.processor(0).submit(MigrateNode(node_id=99999, to_pid=1))
+        cluster.run()
+        assert cluster.trace.counters.get("migrate_on_missing_copy", 0) == 1
+
+    def test_replicated_node_refuses_migration(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="semisync", capacity=4, seed=5)
+        run_insert_workload(cluster, count=20)
+        leaf = next(c for c in cluster.engine.all_copies() if c.is_leaf)
+        from repro.protocols.mobile import MigrationMixin
+
+        with pytest.raises(ValueError, match="replicated"):
+            MigrationMixin().migrate_single_copy(
+                cluster.engine,
+                cluster.kernel.processor(leaf.home_pid),
+                leaf,
+                (leaf.home_pid + 1) % 4,
+            )
+
+
+class TestVariableEdgeCases:
+    def test_join_of_existing_member_is_counted_not_crashed(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="variable", capacity=4, seed=5)
+        run_insert_workload(cluster, count=100)
+        node = next(c for c in cluster.engine.all_copies() if c.level == 1 and c.is_pc)
+        member = next(p for p in node.copy_pids if p != node.pc_pid)
+        cluster.kernel.processor(node.pc_pid).submit(
+            JoinRequest(node.node_id, node.level, node.range.low, member)
+        )
+        cluster.run()
+        assert cluster.trace.counters.get("join_already_member", 0) == 1
+        assert_clean(cluster)
+
+    def test_pc_cannot_unjoin(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="variable", capacity=4, seed=5)
+        run_insert_workload(cluster, count=100)
+        node = next(c for c in cluster.engine.all_copies() if c.level == 1 and c.is_pc)
+        proc = cluster.kernel.processor(node.pc_pid)
+        with pytest.raises(ValueError, match="primary copy"):
+            cluster.protocol.request_unjoin(proc, node)
+
+    def test_unjoin_then_rejoin_then_unjoin_again(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="variable", capacity=4, seed=9)
+        run_insert_workload(cluster, count=120)
+        engine = cluster.engine
+        node = next(c for c in engine.all_copies() if c.level == 1 and c.is_pc)
+        pid = next(p for p in node.copy_pids if p != node.pc_pid)
+        for _round in range(2):
+            proc = cluster.kernel.processor(pid)
+            copy = engine.copy_at(proc, node.node_id)
+            cluster.protocol.request_unjoin(proc, copy)
+            cluster.run()
+            cluster.kernel.processor(node.pc_pid).submit(
+                JoinRequest(node.node_id, node.level, node.range.low, pid)
+            )
+            cluster.run()
+        assert cluster.trace.counters.get("unjoins", 0) == 2
+        assert cluster.trace.counters.get("joins", 0) == 2
+        assert node.version == 4
+        assert_clean(cluster)
+
+    def test_interior_nodes_never_migrate(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="variable", capacity=4, seed=5)
+        run_insert_workload(cluster, count=100)
+        interior = next(c for c in cluster.engine.all_copies() if c.level == 1)
+        proc = cluster.kernel.processor(interior.home_pid)
+        with pytest.raises(ValueError, match="only leaves"):
+            cluster.protocol.migrate(proc, interior, (interior.home_pid + 1) % 4)
+
+    def test_massive_migration_churn_stays_clean(self):
+        cluster = DBTreeCluster(num_processors=4, protocol="variable", capacity=4, seed=13)
+        expected = run_insert_workload(cluster, count=200)
+        for round_index in range(3):
+            leaves = sorted(
+                (c for c in cluster.engine.all_copies() if c.is_leaf),
+                key=lambda c: c.node_id,
+            )
+            for index, leaf in enumerate(leaves):
+                target = (leaf.home_pid + index + round_index) % 4
+                if target != leaf.home_pid:
+                    cluster.migrate_node(leaf.node_id, leaf.home_pid, target)
+            cluster.run()
+        assert cluster.trace.counters.get("migrations", 0) > 100
+        assert_clean(cluster, expected=expected)
+
+
+class TestNaiveQuirks:
+    def test_naive_still_converges_even_when_lossy(self):
+        # The strawman loses keys but the copies of each node still
+        # agree with each other (loss is consistent).
+        cluster = DBTreeCluster(num_processors=4, protocol="naive", capacity=4, seed=7)
+        run_insert_workload(cluster, count=300)
+        from repro.verify.invariants import check_copy_convergence
+
+        assert check_copy_convergence(cluster.engine) == []

@@ -1,0 +1,121 @@
+"""The exhaustive rearrangement search: Theorem 2's argument, executed.
+
+The semi-synchronous protocol's correctness rests on being able to
+*rearrange* the primary copy's history so it matches the other
+copies'.  These tests perform that rearrangement explicitly on the
+paper's own scenarios.
+"""
+
+import pytest
+
+from repro.core.actions import Mode
+from repro.core.history import (
+    HAction,
+    History,
+    SimpleNode,
+    SimpleNodeSemantics,
+    compatible,
+    find_compatible_rearrangement,
+)
+from repro.core.keys import NEG_INF, POS_INF
+from repro.sim.network import LogNormalLatency
+
+SEM = SimpleNodeSemantics()
+START = SimpleNode(NEG_INF, POS_INF, frozenset({1}))
+
+
+def ins(key, mode, action_id):
+    return HAction("insert", key, mode, action_id)
+
+
+def split(sep, sibling, mode, action_id):
+    return HAction("half_split", (sep, sibling), mode, action_id)
+
+
+class TestRearrangementSearch:
+    def test_reordered_inserts_rearrange_trivially(self):
+        h1 = History.of(START, [ins(5, Mode.INITIAL, 1), ins(7, Mode.RELAYED, 2)])
+        h2 = History.of(START, [ins(7, Mode.RELAYED, 2), ins(5, Mode.INITIAL, 1)])
+        found = find_compatible_rearrangement(h2, h1, SEM)
+        assert found is not None
+        assert compatible(found, h1, SEM)
+
+    def test_theorem2_insert_before_relayed_split(self):
+        """The §4.1.2 scenario: copy c performs I before s; the PC
+        performed S before receiving i.  The PC's history can be
+        rearranged (i moved before S) iff the key stayed in range --
+        precisely the case where no correction is needed."""
+        # Key 2 stays below the separator 4: rearrangeable.
+        copy_history = History.of(
+            START, [ins(2, Mode.INITIAL, 10), split(4, 99, Mode.RELAYED, 11)]
+        )
+        pc_history = History.of(
+            START, [split(4, 99, Mode.INITIAL, 11), ins(2, Mode.RELAYED, 10)]
+        )
+        found = find_compatible_rearrangement(pc_history, copy_history, SEM)
+        assert found is not None
+        # The found ordering puts the insert before the split.
+        assert found.actions[0].name == "insert"
+
+    def test_theorem2_out_of_range_case_needs_the_correction(self):
+        """If the key moved to the sibling, no rearrangement of the
+        PC's two actions works -- the subsequent-action sets differ
+        (the sibling's original value).  This is exactly why the
+        protocol issues a corrective initial insert instead."""
+        copy_history = History.of(
+            START, [ins(6, Mode.INITIAL, 10), split(4, 99, Mode.RELAYED, 11)]
+        )
+        pc_history = History.of(
+            START, [split(4, 99, Mode.INITIAL, 11), ins(6, Mode.RELAYED, 10)]
+        )
+        assert find_compatible_rearrangement(pc_history, copy_history, SEM) is None
+
+    def test_different_update_sets_never_rearrange(self):
+        h1 = History.of(START, [ins(5, Mode.INITIAL, 1)])
+        h2 = History.of(START, [ins(5, Mode.INITIAL, 99)])
+        assert find_compatible_rearrangement(h1, h2, SEM) is None
+
+    def test_guard_on_history_length(self):
+        actions = [ins(k, Mode.RELAYED, k) for k in range(12)]
+        long_history = History.of(START, actions)
+        with pytest.raises(ValueError):
+            find_compatible_rearrangement(long_history, long_history, SEM)
+
+
+class TestLogNormalLatency:
+    def test_positive_and_seeded(self):
+        import random
+
+        model = LogNormalLatency(median=10.0, sigma=0.5)
+        rng = random.Random(3)
+        draws = [model.latency(0, 1, rng) for _ in range(200)]
+        assert all(d > 0 for d in draws)
+        assert draws == [
+            model.latency(0, 1, random.Random(3)) for _ in range(1)
+        ][:1] + draws[1:]  # first draw reproducible
+
+    def test_sigma_zero_is_constant(self):
+        import random
+
+        model = LogNormalLatency(median=7.0, sigma=0.0)
+        assert model.latency(0, 1, random.Random(1)) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(sigma=-1.0)
+
+    def test_cluster_correct_under_heavy_tail(self):
+        from tests.helpers import assert_clean, run_insert_workload
+        from repro import DBTreeCluster
+
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol="semisync",
+            capacity=4,
+            latency_model=LogNormalLatency(median=8.0, sigma=1.0),
+            seed=5,
+        )
+        expected = run_insert_workload(cluster, count=200)
+        assert_clean(cluster, expected=expected)

@@ -1,0 +1,91 @@
+"""Replication policies: placement shapes and determinism."""
+
+import random
+
+import pytest
+
+from repro.core.replication import (
+    FixedFactor,
+    FullReplication,
+    PerLevel,
+    Placement,
+    SingleCopy,
+)
+
+PIDS = list(range(8))
+
+
+def place(policy, level=0, creator=3, is_root=False):
+    return policy.place(level, creator, PIDS, is_root, random.Random(0))
+
+
+class TestPlacement:
+    def test_pc_must_be_member(self):
+        with pytest.raises(ValueError):
+            Placement(pc_pid=5, member_pids=(0, 1))
+
+    def test_copy_versions_start_at_zero(self):
+        placement = Placement(pc_pid=0, member_pids=(0, 1, 2))
+        assert placement.copy_versions() == {0: 0, 1: 0, 2: 0}
+
+
+class TestPolicies:
+    def test_full_replication(self):
+        placement = place(FullReplication())
+        assert placement.member_pids == tuple(PIDS)
+        assert placement.pc_pid == 3
+
+    def test_single_copy_on_creator(self):
+        placement = place(SingleCopy())
+        assert placement.member_pids == (3,)
+
+    def test_single_copy_pinned(self):
+        placement = place(SingleCopy(pin_to=6))
+        assert placement.member_pids == (6,)
+        assert placement.pc_pid == 6
+
+    def test_fixed_factor(self):
+        placement = place(FixedFactor(3))
+        assert len(placement.member_pids) == 3
+        assert 3 in placement.member_pids
+        assert placement.pc_pid == 3
+
+    def test_fixed_factor_wraps_around(self):
+        placement = place(FixedFactor(3), creator=7)
+        assert set(placement.member_pids) == {7, 0, 1}
+
+    def test_fixed_factor_capped_by_cluster(self):
+        placement = place(FixedFactor(100))
+        assert placement.member_pids == tuple(PIDS)
+
+    def test_fixed_factor_validates(self):
+        with pytest.raises(ValueError):
+            FixedFactor(0)
+
+    def test_per_level_factors(self):
+        policy = PerLevel(factors={0: 1, 1: 4}, default_factor=None)
+        assert len(place(policy, level=0).member_pids) == 1
+        assert len(place(policy, level=1).member_pids) == 4
+        # default None = everywhere
+        assert len(place(policy, level=5).member_pids) == len(PIDS)
+
+    def test_per_level_root_always_everywhere(self):
+        policy = PerLevel(factors={3: 2})
+        placement = place(policy, level=3, is_root=True)
+        assert placement.member_pids == tuple(PIDS)
+
+    def test_dbtree_default_shape(self):
+        policy = PerLevel.dbtree_default(8)
+        assert len(place(policy, level=0).member_pids) == 1
+        level1 = len(place(policy, level=1).member_pids)
+        assert 1 < level1 <= 8
+        assert len(place(policy, level=3, is_root=True).member_pids) == 8
+
+    def test_determinism(self):
+        policy = FixedFactor(4)
+        assert place(policy).member_pids == place(policy).member_pids
+
+    def test_describe(self):
+        assert "FixedFactor" in FixedFactor(2).describe()
+        assert "pin_to=1" in SingleCopy(pin_to=1).describe()
+        assert "PerLevel" in PerLevel().describe()

@@ -1,0 +1,121 @@
+"""Range scans: B-link leaf-chain walks."""
+
+import pytest
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster
+
+
+@pytest.fixture
+def loaded():
+    cluster = DBTreeCluster(num_processors=4, protocol="semisync", capacity=4, seed=3)
+    expected = run_insert_workload(cluster, count=200, key_fn=lambda i: i * 3)
+    return cluster, expected
+
+
+class TestScanBasics:
+    def test_scan_returns_sorted_range(self, loaded):
+        cluster, expected = loaded
+        result = cluster.scan_sync(30, 90)
+        keys = [k for k, _v in result]
+        assert keys == [k for k in sorted(expected) if 30 <= k < 90]
+        assert keys == sorted(keys)
+
+    def test_scan_values_match(self, loaded):
+        cluster, expected = loaded
+        for key, value in cluster.scan_sync(0, 60):
+            assert expected[key] == value
+
+    def test_scan_half_open(self, loaded):
+        cluster, _expected = loaded
+        result = cluster.scan_sync(30, 33)
+        assert [k for k, _v in result] == [30]  # 33 excluded
+
+    def test_empty_range(self, loaded):
+        cluster, _expected = loaded
+        assert cluster.scan_sync(31, 32) == ()
+        assert cluster.scan_sync(10**9, 2 * 10**9) == ()
+
+    def test_full_table_scan(self, loaded):
+        cluster, expected = loaded
+        from repro.core.keys import NEG_INF, POS_INF
+
+        result = cluster.scan_sync(NEG_INF, POS_INF)
+        assert [k for k, _v in result] == sorted(expected)
+
+    def test_scan_with_limit(self, loaded):
+        cluster, expected = loaded
+        result = cluster.scan_sync(0, 10**9, limit=7)
+        assert len(result) == 7
+        assert [k for k, _v in result] == sorted(expected)[:7]
+
+    def test_scan_from_every_client(self, loaded):
+        cluster, expected = loaded
+        want = [k for k in sorted(expected) if 60 <= k < 120]
+        for pid in cluster.kernel.pids:
+            got = [k for k, _v in cluster.scan_sync(60, 120, client=pid)]
+            assert got == want
+
+    def test_scan_crosses_many_leaves(self, loaded):
+        cluster, expected = loaded
+        # capacity 4 => a 60-key span covers many leaves.
+        result = cluster.scan_sync(0, 600)
+        assert len(result) == len([k for k in expected if k < 600])
+        op = max(
+            (o for o in cluster.trace.operations.values() if o.kind == "scan"),
+            key=lambda o: o.op_id,
+        )
+        assert op.hops > 5  # walked a chain, not one leaf
+
+
+class TestScanProtocols:
+    @pytest.mark.parametrize("protocol", ["semisync", "sync", "variable", "mobile"])
+    def test_scan_on_each_protocol(self, protocol):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol=protocol, capacity=4, seed=5
+        )
+        expected = run_insert_workload(cluster, count=150, key_fn=lambda i: i * 2)
+        result = cluster.scan_sync(50, 150)
+        assert [k for k, _v in result] == [
+            k for k in sorted(expected) if 50 <= k < 150
+        ]
+        assert_clean(cluster, expected=expected)
+
+    def test_scan_after_migrations(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="variable", capacity=4, seed=7
+        )
+        expected = run_insert_workload(cluster, count=150, key_fn=lambda i: i * 2)
+        leaves = sorted(
+            (c for c in cluster.engine.all_copies() if c.is_leaf),
+            key=lambda c: c.node_id,
+        )
+        for index, leaf in enumerate(leaves[:6]):
+            cluster.migrate_node(
+                leaf.node_id, leaf.home_pid, (leaf.home_pid + 1 + index) % 4
+            )
+        cluster.run()
+        result = cluster.scan_sync(0, 10**9)
+        assert [k for k, _v in result] == sorted(expected)
+
+    def test_concurrent_scans_terminate(self):
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="semisync", capacity=4, seed=9
+        )
+        expected = {}
+        for index in range(150):
+            key = index * 2
+            expected[key] = index
+            cluster.insert(key, index, client=index % 4)
+            if index % 10 == 0:
+                cluster.scan(0, 300, client=(index + 1) % 4)
+        results = cluster.run()
+        assert not results.incomplete
+        # Concurrent scans return subsets of the final contents in order.
+        for op in cluster.trace.operations.values():
+            if op.kind != "scan":
+                continue
+            keys = [k for k, _v in op.result]
+            assert keys == sorted(keys)
+            assert all(k in expected for k in keys)
+        assert_clean(cluster, expected=expected)

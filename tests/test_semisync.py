@@ -1,0 +1,89 @@
+"""Semi-synchronous protocol: history rewriting, never blocking."""
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster, FixedFactor
+
+
+def burst_cluster(seed=3, procs=4, capacity=4):
+    return DBTreeCluster(
+        num_processors=procs, protocol="semisync", capacity=capacity, seed=seed
+    )
+
+
+class TestCorrectness:
+    def test_concurrent_burst_is_correct(self):
+        cluster = burst_cluster()
+        expected = run_insert_workload(cluster, count=300)
+        assert_clean(cluster, expected=expected)
+
+    def test_history_rewrites_happen_under_concurrency(self):
+        cluster = burst_cluster()
+        run_insert_workload(cluster, count=300)
+        # The whole point of the protocol: out-of-range relays at the
+        # PC are corrected, not dropped.
+        assert cluster.trace.counters.get("history_rewrites", 0) > 0
+        assert cluster.trace.counters.get("naive_dropped_updates", 0) == 0
+
+    def test_rewrite_keys_survive(self):
+        # Same workload on naive loses keys; semisync must not.
+        cluster = burst_cluster(seed=21)
+        expected = run_insert_workload(
+            cluster, count=400, key_fn=lambda i: (i * 13) % 4001
+        )
+        assert_clean(cluster, expected=expected)
+
+    def test_fixed_factor_replication(self):
+        cluster = DBTreeCluster(
+            num_processors=8,
+            protocol="semisync",
+            capacity=4,
+            replication=FixedFactor(3),
+            seed=9,
+        )
+        expected = run_insert_workload(cluster, count=250)
+        assert_clean(cluster, expected=expected)
+        # Every node group has exactly 3 copies.
+        from collections import Counter
+
+        holders = Counter(c.node_id for c in cluster.engine.all_copies())
+        assert set(holders.values()) == {3}
+
+
+class TestNonBlocking:
+    def test_no_blocked_updates_ever(self):
+        cluster = burst_cluster()
+        run_insert_workload(cluster, count=300)
+        assert cluster.trace.blocked_events == 0
+        assert cluster.trace.blocked_time == 0.0
+
+    def test_split_coordination_is_one_message_per_peer(self):
+        cluster = burst_cluster()
+        run_insert_workload(cluster, count=300)
+        by_kind = cluster.kernel.network.stats.by_kind
+        splits = cluster.trace.counters["half_splits"]
+        peers = cluster.num_processors - 1
+        assert by_kind.get("relayed_split", 0) == splits * peers
+        assert by_kind.get("split_start", 0) == 0
+        assert by_kind.get("split_ack", 0) == 0
+        assert by_kind.get("split_end", 0) == 0
+
+
+class TestConvergence:
+    def test_copies_converge_after_interleaved_splits(self):
+        # Figure 3's scenario writ large: many nodes split while
+        # inserts land at different copies; all copies converge.
+        cluster = burst_cluster(seed=17)
+        run_insert_workload(cluster, count=500, key_fn=lambda i: (i * 31) % 7919)
+        from repro.verify.invariants import check_copy_convergence
+
+        assert check_copy_convergence(cluster.engine) == []
+
+    def test_interleaved_deletes_converge(self):
+        cluster = burst_cluster(seed=23)
+        expected = run_insert_workload(cluster, count=200)
+        victims = sorted(expected)[::3]
+        for index, key in enumerate(victims):
+            cluster.delete(key, client=index % cluster.num_processors)
+            del expected[key]
+        cluster.run()
+        assert_clean(cluster, expected=expected)

@@ -1,0 +1,130 @@
+"""Soak tests: everything at once, for a long simulated time.
+
+One scenario per protocol family combining concurrent inserts and
+searches, deletes at quiescent points, relay batching, leaf
+balancing/migrations, copy crashes, and scans -- then the full audit.
+These are the closest runs to 'production traffic' in the suite.
+"""
+
+import pytest
+
+from tests.helpers import assert_clean
+from repro import DBTreeCluster
+from repro.workloads import DiffusiveBalancer, uniform_keys
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_variable_protocol_full_stack_soak(seed):
+    cluster = DBTreeCluster(
+        num_processors=8,
+        protocol="variable",
+        capacity=8,
+        seed=seed,
+        relay_batch_window=15.0,
+    )
+    expected = {}
+
+    # Phase 1: paced mixed load with live searches.
+    keys = uniform_keys(700, seed=seed + 1)
+    for index, key in enumerate(keys):
+        expected[key] = index
+        cluster.schedule(index * 1.2, "insert", key, index, client=index % 8)
+        if index % 5 == 0:
+            cluster.schedule(
+                index * 1.2 + 400.0, "search", keys[index // 2], client=(index + 3) % 8
+            )
+    cluster.run()
+
+    # Phase 2: rebalance the leaves.
+    balancer = DiffusiveBalancer(cluster, period=100.0, rounds=15, threshold=8, seed=2)
+    balancer.start()
+    cluster.run()
+    assert balancer.migrated_leaves > 0
+
+    # Phase 3: crash two copies of the rightmost interior node, then
+    # heal them with fresh rightward traffic (healing rides on the
+    # relays that leaf splits send; two waves cover bounced heals).
+    engine = cluster.engine
+    from repro.core.keys import POS_INF
+
+    rightmost = next(
+        c
+        for c in engine.all_copies()
+        if c.level == 1 and c.is_pc and c.range.high is POS_INF
+    )
+    victims = [p for p in rightmost.copy_pids if p != rightmost.pc_pid][:2]
+    for pid in victims:
+        engine.crash_copy(pid, rightmost.node_id)
+    fresh = 10**8
+    for wave in range(2):
+        for index in range(120):
+            key = fresh + wave * 1000 + index * 3
+            expected[key] = index
+            cluster.insert(key, index, client=index % 8)
+        cluster.run()
+    holders = {
+        c.home_pid for c in engine.all_copies() if c.node_id == rightmost.node_id
+    }
+    assert set(victims) <= holders, "crashed copies should have healed"
+
+    # Phase 4: deletes and scans at quiescence.
+    doomed_keys = sorted(expected)[::9]
+    for index, key in enumerate(doomed_keys):
+        cluster.delete(key, client=index % 8)
+        del expected[key]
+    cluster.run()
+    low, high = sorted(expected)[10], sorted(expected)[210]
+    scanned = cluster.scan_sync(low, high)
+    assert [k for k, _v in scanned] == [k for k in sorted(expected) if low <= k < high]
+
+    # Final audit.
+    report = assert_clean(cluster, expected=expected)
+    assert report.ok
+    # Everything actually happened.
+    counters = cluster.trace.counters
+    assert counters["half_splits"] > 80
+    assert counters.get("migrations", 0) > 0
+    assert counters.get("crashed_copies", 0) == len(victims)
+    assert not cluster.trace.incomplete_operations()
+
+
+def test_semisync_batched_soak():
+    cluster = DBTreeCluster(
+        num_processors=6,
+        protocol="semisync",
+        capacity=6,
+        seed=9,
+        relay_batch_window=25.0,
+        latency_jitter=8.0,
+    )
+    expected = {}
+    keys = uniform_keys(900, seed=4)
+    for index, key in enumerate(keys):
+        expected[key] = index
+        cluster.insert(key, index, client=index % 6)
+    cluster.run()
+    for index, key in enumerate(sorted(expected)[::7]):
+        cluster.delete(key, client=index % 6)
+        del expected[key]
+    cluster.run()
+    assert_clean(cluster, expected=expected)
+    assert cluster.engine.relay_batcher.batches_sent > 50
+
+
+def test_sync_protocol_soak_under_jitter():
+    cluster = DBTreeCluster(
+        num_processors=4,
+        protocol="sync",
+        capacity=4,
+        seed=21,
+        latency_jitter=20.0,
+    )
+    expected = {}
+    keys = uniform_keys(600, seed=8)
+    for index, key in enumerate(keys):
+        expected[key] = index
+        cluster.schedule(index * 0.7, "insert", key, index, client=index % 4)
+    cluster.run()
+    assert_clean(cluster, expected=expected)
+    assert cluster.trace.counters.get("blocked_initial_updates", 0) > 0
+    assert cluster.trace.blocked_time > 0

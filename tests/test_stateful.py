@@ -1,0 +1,139 @@
+"""Hypothesis stateful testing: random op sequences with live audits.
+
+A rule-based state machine drives a cluster (and, separately, the
+hash table) with randomly interleaved operations, quiescing and
+auditing between bursts -- the closest thing to a model checker this
+test suite has.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import DBTreeCluster
+from repro.hash import LazyHashTable
+
+KEYS = st.integers(min_value=0, max_value=400)
+
+
+class DBTreeMachine(RuleBasedStateMachine):
+    """Random bursts of inserts/deletes/searches against the oracle."""
+
+    @initialize(
+        seed=st.integers(0, 10**6),
+        protocol=st.sampled_from(["semisync", "sync", "variable"]),
+    )
+    def setup(self, seed, protocol):
+        self.cluster = DBTreeCluster(
+            num_processors=4, protocol=protocol, capacity=4, seed=seed
+        )
+        self.model = {}
+        self.pending_inserts = {}
+
+    # -- concurrent submissions (quiesced in batches) -----------------
+    @rule(key=KEYS, value=st.integers(), client=st.integers(0, 3))
+    def submit_insert(self, key, value, client):
+        if key in self.model or key in self.pending_inserts:
+            return  # keep the stream conflict-free
+        self.cluster.insert(key, value, client=client)
+        self.pending_inserts[key] = value
+
+    @rule()
+    def quiesce(self):
+        self.cluster.run()
+        self.model.update(self.pending_inserts)
+        self.pending_inserts = {}
+
+    # -- quiescent point operations ------------------------------------
+    @precondition(lambda self: not self.pending_inserts)
+    @rule(key=KEYS, client=st.integers(0, 3))
+    def search(self, key, client):
+        assert self.cluster.search_sync(key, client=client) == self.model.get(key)
+
+    @precondition(lambda self: not self.pending_inserts)
+    @rule(key=KEYS, client=st.integers(0, 3))
+    def delete(self, key, client):
+        present = key in self.model
+        assert self.cluster.delete_sync(key, client=client) == present
+        self.model.pop(key, None)
+
+    @precondition(lambda self: not self.pending_inserts)
+    @rule(low=KEYS, span=st.integers(1, 80))
+    def scan(self, low, span):
+        result = self.cluster.scan_sync(low, low + span)
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if low <= k < low + span
+        )
+        assert list(result) == expected
+
+    # -- invariants -----------------------------------------------------
+    @invariant()
+    def audit_clean_when_quiescent(self):
+        if self.pending_inserts:
+            return  # mid-burst; audited at the next quiesce
+        report = self.cluster.check(expected=self.model)
+        assert report.ok, "\n".join(report.problems[:5])
+
+
+class HashMachine(RuleBasedStateMachine):
+    """The same discipline for the lazy hash table."""
+
+    @initialize(
+        seed=st.integers(0, 10**6),
+        mode=st.sampled_from(["lazy", "correction", "sync"]),
+    )
+    def setup(self, seed, mode):
+        self.table = LazyHashTable(
+            num_processors=4, capacity=3, mode=mode, seed=seed
+        )
+        self.model = {}
+        self.dirty = False
+
+    @rule(key=KEYS, value=st.integers(), client=st.integers(0, 3))
+    def submit_insert(self, key, value, client):
+        if key in self.model:
+            return
+        self.table.insert(key, value, client=client)
+        self.model[key] = value
+        self.dirty = True
+
+    @rule()
+    def quiesce(self):
+        self.table.run()
+        self.dirty = False
+
+    @precondition(lambda self: not self.dirty)
+    @rule(key=KEYS, client=st.integers(0, 3))
+    def search(self, key, client):
+        assert self.table.search_sync(key, client=client) == self.model.get(key)
+
+    @precondition(lambda self: not self.dirty)
+    @rule(key=KEYS)
+    def delete(self, key):
+        present = key in self.model
+        assert self.table.delete_sync(key) == present
+        self.model.pop(key, None)
+
+    @invariant()
+    def audit_clean_when_quiescent(self):
+        if self.dirty:
+            return
+        report = self.table.check(expected=self.model)
+        assert report.ok, "\n".join(report.problems[:5])
+
+
+TestDBTreeStateMachine = DBTreeMachine.TestCase
+TestDBTreeStateMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+
+TestHashStateMachine = HashMachine.TestCase
+TestHashStateMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

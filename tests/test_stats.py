@@ -1,0 +1,147 @@
+"""Metrics and table rendering."""
+
+import pytest
+
+from tests.helpers import run_insert_workload
+from repro import DBTreeCluster
+from repro.stats import (
+    format_table,
+    latency_summary,
+    load_balance,
+    message_summary,
+    replication_profile,
+    search_locality,
+    space_utilization,
+    split_message_cost,
+    throughput,
+)
+from repro.stats.metrics import blocked_time_summary, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.95) == 5.0
+        assert percentile(values, 0.01) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestClusterMetrics:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        expected = run_insert_workload(cluster, count=200)
+        for index, key in enumerate(list(expected)[:50]):
+            cluster.search(key, client=index % 4)
+        cluster.run()
+        return cluster
+
+    def test_message_summary(self, loaded):
+        summary = message_summary(loaded.kernel)
+        assert summary["total"] > 0
+        assert summary["total"] == sum(summary["by_kind"].values())
+
+    def test_split_message_cost(self, loaded):
+        cost = split_message_cost(loaded.engine)
+        assert cost["splits"] > 0
+        assert cost["coordination"] == 3.0  # |copies|-1 on 4 procs
+
+    def test_latency_summary(self, loaded):
+        summary = latency_summary(loaded.trace)
+        assert summary["count"] == 250
+        assert 0 < summary["p50"] <= summary["p95"] <= summary["max"]
+        searches = latency_summary(loaded.trace, kind="search")
+        assert searches["count"] == 50
+
+    def test_latency_summary_empty(self):
+        from repro.sim.tracing import Trace
+
+        assert latency_summary(Trace())["count"] == 0
+
+    def test_throughput_positive(self, loaded):
+        assert throughput(loaded.trace, loaded.kernel) > 0
+
+    def test_blocked_time_summary(self, loaded):
+        summary = blocked_time_summary(loaded.trace)
+        assert summary["blocked_events"] == 0  # semisync never blocks
+
+    def test_replication_profile(self, loaded):
+        profile = replication_profile(loaded.engine)
+        assert set(profile) >= {0, 1}
+        for row in profile.values():
+            assert row["min_copies"] <= row["avg_copies"] <= row["max_copies"]
+
+    def test_load_balance(self, loaded):
+        balance = load_balance(loaded.engine)
+        assert set(balance["leaves_per_pid"]) == {0, 1, 2, 3}
+        assert balance["entries_cv"] >= 0.0
+
+    def test_space_utilization_bounds(self, loaded):
+        utilization = space_utilization(loaded.engine)
+        assert 0.3 < utilization <= 1.0
+
+    def test_search_locality_full_replication(self, loaded):
+        locality = search_locality(loaded.trace, loaded.kernel)
+        assert locality["ops"] == 50
+        assert locality["locality"] == 1.0  # full replication: all local
+
+
+class TestExtendedMetrics:
+    def test_occupancy_histogram_counts_all_leaves(self):
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        run_insert_workload(cluster, count=150)
+        from repro.stats import occupancy_histogram
+        from repro.verify.invariants import representative_nodes
+
+        histogram = occupancy_histogram(cluster.engine, level=0, buckets=4)
+        num_leaves = sum(
+            1 for n in representative_nodes(cluster.engine).values() if n.is_leaf
+        )
+        assert sum(histogram.values()) == num_leaves
+        assert list(histogram) == ["0-25%", "25-50%", "50-75%", "75-100%"]
+
+    def test_occupancy_histogram_validates(self):
+        cluster = DBTreeCluster(num_processors=2, capacity=4, seed=1)
+        from repro.stats import occupancy_histogram
+
+        with pytest.raises(ValueError):
+            occupancy_histogram(cluster.engine, buckets=0)
+
+    def test_update_read_ratio(self):
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        expected = run_insert_workload(cluster, count=100)
+        for key in list(expected)[:50]:
+            cluster.search(key)
+        cluster.run()
+        from repro.stats import update_read_ratio
+
+        ratio = update_read_ratio(cluster.trace)
+        assert ratio["read_operations"] == 50
+        assert ratio["update_actions"] > 100
+        assert 0 < ratio["update_fraction"] < 1
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert lines[2].startswith("alpha")
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="T1")
+        assert table.splitlines()[0] == "T1"
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1.23456], [2.0]])
+        assert "1.235" in table
+        assert "\n2" in table  # integral floats render bare
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,116 @@
+"""Bridging the layers: real traces satisfy the formal theory.
+
+The repository has the Section 3 formalism twice: executable
+(:mod:`repro.core.history`) and mechanical (the trace-based checkers).
+These tests connect them -- per-copy update sequences recorded from a
+*real* protocol run are replayed through the formal
+:class:`~repro.core.history.History` machinery and shown to be valid
+and pairwise compatible, exactly as Theorem 2 promises.
+
+The reconstruction needs the copies' initial values, so it targets the
+bootstrap nodes (born empty); and it uses a paced workload, where no
+history rewriting occurs, so the uniform update sets of all copies
+coincide (under rewrites, compatibility holds only after the
+backwards-extension/rearrangement argument, which the mechanical
+checker covers).
+"""
+
+import pytest
+
+from repro import DBTreeCluster
+from repro.core.actions import Mode
+from repro.core.history import (
+    HAction,
+    History,
+    SimpleNode,
+    SimpleNodeSemantics,
+    compatible,
+)
+from repro.core.keys import NEG_INF, POS_INF
+
+SEM = SimpleNodeSemantics()
+
+
+def history_from_trace(copy_history) -> History:
+    """Reconstruct a formal History from a recorded copy history."""
+    actions = []
+    for update in copy_history.applied:
+        mode = Mode.INITIAL if update.mode == "initial" else Mode.RELAYED
+        if update.kind == "insert":
+            _tag, key, _payload = update.params
+            actions.append(HAction("insert", key, mode, update.action_id))
+        elif update.kind == "half_split":
+            _tag, separator, sibling_id = update.params
+            actions.append(
+                HAction("half_split", (separator, sibling_id), mode, update.action_id)
+            )
+        else:
+            raise AssertionError(f"unexpected update kind {update.kind}")
+    initial = SimpleNode(NEG_INF, POS_INF, frozenset())
+    return History.of(initial, actions)
+
+
+@pytest.fixture(scope="module")
+def paced_cluster():
+    cluster = DBTreeCluster(num_processors=4, protocol="semisync", capacity=4, seed=3)
+    for index in range(60):
+        key = index * 5
+        cluster.schedule(index * 150.0, "insert", key, index, client=index % 4)
+    cluster.run()
+    assert cluster.trace.counters.get("history_rewrites", 0) == 0
+    return cluster
+
+
+class TestTracesSatisfyTheFormalTheory:
+    def _histories(self, cluster, node_id):
+        copies = cluster.trace.live_copies(node_id)
+        assert len(copies) == 4  # full replication
+        return [history_from_trace(copy) for copy in copies]
+
+    def test_bootstrap_leaf_histories_are_valid(self, paced_cluster):
+        for history in self._histories(paced_cluster, 1):
+            assert history.is_valid(SEM)
+
+    def test_bootstrap_leaf_histories_pairwise_compatible(self, paced_cluster):
+        histories = self._histories(paced_cluster, 1)
+        reference = histories[0]
+        for other in histories[1:]:
+            assert compatible(reference, other, SEM)
+
+    def test_formal_final_value_matches_engine_state(self, paced_cluster):
+        histories = self._histories(paced_cluster, 1)
+        final = histories[0].final_value(SEM)
+        engine_copy = next(
+            c for c in paced_cluster.engine.all_copies() if c.node_id == 1
+        )
+        assert final.keys == frozenset(engine_copy.keys())
+        assert final.low == engine_copy.range.low
+        assert final.high == engine_copy.range.high
+        assert final.right_id == engine_copy.right_id
+
+    def test_uniform_updates_strip_the_initial_relayed_distinction(
+        self, paced_cluster
+    ):
+        histories = self._histories(paced_cluster, 1)
+        uniforms = {
+            frozenset(h.uniform_updates(SEM).items()) for h in histories
+        }
+        assert len(uniforms) == 1
+
+    def test_interior_node_histories_also_compatible(self, paced_cluster):
+        # The bootstrap root (node 2) receives pointer inserts from
+        # leaf splits; its copies' histories obey the theory too.
+        histories = []
+        for copy in paced_cluster.trace.live_copies(2):
+            history = history_from_trace(copy)
+            # Its initial value contains the bootstrap leaf pointer.
+            history = History.of(
+                SimpleNode(NEG_INF, POS_INF, frozenset({NEG_INF})),
+                history.actions,
+            )
+            histories.append(history)
+        assert len(histories) == 4
+        for history in histories:
+            assert history.is_valid(SEM)
+        for other in histories[1:]:
+            assert compatible(histories[0], other, SEM)

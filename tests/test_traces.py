@@ -1,0 +1,86 @@
+"""Workload trace files: record, read, replay."""
+
+import pytest
+
+from repro import DBTreeCluster
+from repro.hash import LazyHashTable
+from repro.workloads import TraceOp, read_trace, replay_trace, write_trace
+
+
+def sample_ops():
+    ops = []
+    for index in range(60):
+        ops.append(TraceOp("insert", index * 3, f"v{index}", client=index % 4))
+    for index in range(20):
+        ops.append(TraceOp("search", index * 9, client=(index + 1) % 4))
+    return ops
+
+
+class TestTraceOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceOp("upsert", 1)
+        with pytest.raises(ValueError):
+            TraceOp("insert", 1, client=-1)
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        ops = sample_ops()
+        assert write_trace(ops, path) == len(ops)
+        loaded = list(read_trace(path))
+        assert loaded == ops
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        path.write_text(
+            '# a comment\n\n{"kind": "insert", "key": 1, "value": 2}\n'
+        )
+        (op,) = read_trace(path)
+        assert op == TraceOp("insert", 1, 2)
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "insert", "key": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(read_trace(path))
+
+    def test_missing_field_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "insert"}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            list(read_trace(path))
+
+
+class TestReplay:
+    def test_replay_on_dbtree(self):
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        counts = replay_trace(cluster, sample_ops())
+        assert counts == {"insert": 60, "search": 20, "delete": 0}
+        assert cluster.search_sync(9) == "v3"
+        assert cluster.check().ok
+
+    def test_replay_on_hash_table(self):
+        table = LazyHashTable(num_processors=4, capacity=4, seed=3)
+        counts = replay_trace(table, sample_ops())
+        assert counts["insert"] == 60
+        assert table.search_sync(9) == "v3"
+        assert table.check().ok
+
+    def test_paced_replay(self):
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        replay_trace(cluster, sample_ops(), concurrent=False, interarrival=2.0)
+        assert cluster.now >= 60 * 2.0
+        assert cluster.check().ok
+
+    def test_same_trace_both_structures_agree(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        write_trace(sample_ops(), path)
+        cluster = DBTreeCluster(num_processors=4, capacity=4, seed=3)
+        replay_trace(cluster, read_trace(path))
+        table = LazyHashTable(num_processors=4, capacity=4, seed=3)
+        replay_trace(table, read_trace(path))
+        for index in range(0, 60, 7):
+            key = index * 3
+            assert cluster.search_sync(key) == table.search_sync(key)

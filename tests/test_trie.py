@@ -1,0 +1,162 @@
+"""The lazy distributed burst trie."""
+
+import pytest
+
+from repro.trie import LazyTrie
+from repro.trie.node import TERMINAL, Container, Interior
+from repro.workloads import string_keys
+
+
+def load_words(trie, words):
+    expected = {}
+    for index, word in enumerate(words):
+        expected[word] = index
+        trie.insert(word, index, client=index % len(trie.kernel.pids))
+    trie.run()
+    return expected
+
+
+class TestNodes:
+    def test_container_basics(self):
+        c = Container(node_id=1, prefix="ca", capacity=2, home_pid=0)
+        assert c.insert("cat", 1)
+        assert not c.insert("cat", 2)
+        assert c.lookup("cat") == 2
+        assert c.delete("cat") and not c.delete("cat")
+        with pytest.raises(ValueError):
+            c.insert("dog", 1)  # outside prefix
+
+    def test_container_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Container(node_id=1, prefix="", capacity=0, home_pid=0)
+
+    def test_partition_for_burst(self):
+        c = Container(node_id=1, prefix="ca", capacity=2, home_pid=0)
+        for key in ("ca", "cat", "cart", "cab"):
+            c.entries[key] = key
+        groups = c.partition_for_burst()
+        assert groups[TERMINAL] == {"ca": "ca"}
+        assert set(groups["t"]) == {"cat"}
+        assert set(groups["r"]) == {"cart"}
+        assert set(groups["b"]) == {"cab"}
+
+    def test_interior_routing(self):
+        node = Interior(
+            node_id=1, prefix="ca", pc_pid=0, copy_pids=(0,), home_pid=0
+        )
+        node.add_edge("t", 10)
+        node.add_edge(TERMINAL, 11)
+        assert node.child_for("cat") == 10
+        assert node.child_for("ca") == 11
+        assert node.child_for("cab") is None
+        with pytest.raises(ValueError):
+            node.label_for("dog")
+
+    def test_edge_conflict_detected(self):
+        node = Interior(
+            node_id=1, prefix="", pc_pid=0, copy_pids=(0,), home_pid=0
+        )
+        node.add_edge("a", 10)
+        assert not node.add_edge("a", 10)  # duplicate, fine
+        with pytest.raises(ValueError):
+            node.add_edge("a", 99)
+
+
+class TestTrieEndToEnd:
+    def test_basic_operations(self):
+        trie = LazyTrie(num_processors=4, capacity=4, seed=1)
+        assert trie.insert_sync("hello", "world")
+        assert trie.search_sync("hello") == "world"
+        assert trie.search_sync("hell") is None
+        assert trie.delete_sync("hello")
+        assert not trie.delete_sync("hello")
+
+    def test_empty_string_key(self):
+        trie = LazyTrie(num_processors=2, capacity=4, seed=1)
+        assert trie.insert_sync("", "root-value")
+        assert trie.search_sync("") == "root-value"
+
+    def test_prefix_chains(self):
+        trie = LazyTrie(num_processors=4, capacity=2, seed=2)
+        words = ["a", "ab", "abc", "abcd", "abcde", "abcdef"]
+        expected = load_words(trie, words)
+        for word, value in expected.items():
+            assert trie.search_sync(word) == value
+        report = trie.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])
+
+    def test_non_string_key_rejected(self):
+        trie = LazyTrie(seed=1)
+        with pytest.raises(TypeError):
+            trie.insert(42, "x")
+
+    def test_unknown_kind_rejected(self):
+        trie = LazyTrie(seed=1)
+        with pytest.raises(ValueError):
+            trie.engine.submit_operation("upsert", "k")
+
+    def test_concurrent_burst_audit_clean(self):
+        trie = LazyTrie(num_processors=4, capacity=4, seed=3)
+        words = string_keys(400, seed=7, length=6)
+        expected = load_words(trie, words)
+        report = trie.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])
+        assert trie.trace.counters.get("trie_bursts", 0) > 10
+
+    def test_bursts_spread_containers(self):
+        trie = LazyTrie(num_processors=8, capacity=4, seed=3)
+        load_words(trie, string_keys(400, seed=7, length=6))
+        holders = {
+            n.home_pid
+            for n in trie.engine.all_nodes()
+            if isinstance(n, Container)
+        }
+        assert holders == set(range(8))
+
+    def test_stale_root_replicas_corrected(self):
+        trie = LazyTrie(num_processors=4, capacity=4, seed=5)
+        words = string_keys(200, seed=9, length=5)
+        load_words(trie, words)
+        counters = trie.trace.counters
+        # Replicas missed edges during the burst, forwarded to the
+        # PC, and were taught the edges.
+        assert counters.get("trie_forwarded_to_pc", 0) > 0
+        assert counters.get("trie_corrections_sent", 0) > 0
+        # At quiescence all root replicas agree (lazy convergence).
+        report = trie.check()
+        assert report.ok
+
+    def test_reads_after_corrections_go_direct(self):
+        trie = LazyTrie(num_processors=4, capacity=4, seed=5)
+        words = string_keys(200, seed=9, length=5)
+        expected = load_words(trie, words)
+        before = trie.trace.counters.get("trie_forwarded_to_pc", 0)
+        for word in words[:50]:
+            assert trie.search_sync(word, client=2) == expected[word]
+        after = trie.trace.counters.get("trie_forwarded_to_pc", 0)
+        assert after == before  # all edges known everywhere by now
+
+    def test_deterministic(self):
+        def run():
+            trie = LazyTrie(num_processors=4, capacity=4, seed=11)
+            load_words(trie, string_keys(150, seed=2, length=5))
+            return (
+                trie.kernel.network.stats.sent,
+                trie.trace.counters.get("trie_bursts"),
+                sorted(
+                    (n.node_id, n.prefix, len(n.entries))
+                    for n in trie.engine.all_nodes()
+                    if isinstance(n, Container)
+                ),
+            )
+
+        assert run() == run()
+
+    def test_shared_long_prefixes(self):
+        # Worst case: every key shares a long prefix; bursts recurse.
+        trie = LazyTrie(num_processors=4, capacity=3, seed=4)
+        words = [f"prefix/{i:03d}" for i in range(60)]
+        expected = load_words(trie, words)
+        report = trie.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])
+        assert trie.search_sync("prefix/042") == 42

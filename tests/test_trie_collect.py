@@ -1,0 +1,77 @@
+"""Trie prefix enumeration (the traveling collector)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trie import LazyTrie
+from repro.workloads import string_keys
+
+
+def load(trie, words):
+    expected = {}
+    for index, word in enumerate(words):
+        expected[word] = index
+        trie.insert(word, index, client=index % len(trie.kernel.pids))
+    trie.run()
+    return expected
+
+
+class TestCollect:
+    def test_prefix_enumeration_sorted(self):
+        trie = LazyTrie(num_processors=4, capacity=3, seed=3)
+        expected = load(trie, ["car", "cart", "cat", "cab", "ca", "dog"])
+        result = trie.collect_sync("ca")
+        assert [k for k, _v in result] == ["ca", "cab", "car", "cart", "cat"]
+
+    def test_absent_prefix(self):
+        trie = LazyTrie(num_processors=2, capacity=3, seed=1)
+        load(trie, ["alpha", "beta"])
+        assert trie.collect_sync("zz") == ()
+
+    def test_full_enumeration_matches_model(self):
+        trie = LazyTrie(num_processors=4, capacity=4, seed=5)
+        expected = load(trie, string_keys(250, seed=2, length=5))
+        result = trie.collect_sync("")
+        assert dict(result) == expected
+        assert [k for k, _v in result] == sorted(expected)
+
+    def test_collect_from_every_client(self):
+        trie = LazyTrie(num_processors=4, capacity=3, seed=7)
+        expected = load(trie, [f"user:{i:02d}" for i in range(40)])
+        want = tuple(sorted(expected.items()))
+        for pid in trie.kernel.pids:
+            assert trie.collect_sync("user:", client=pid) == want
+
+    def test_collect_crosses_many_processors(self):
+        trie = LazyTrie(num_processors=8, capacity=3, seed=9)
+        expected = load(trie, string_keys(200, seed=4, length=5))
+        result = trie.collect_sync("")
+        assert len(result) == len(expected)
+        op = max(
+            (o for o in trie.trace.operations.values() if o.kind == "collect"),
+            key=lambda o: o.op_id,
+        )
+        assert op.hops > 10  # visited a real subtree, not one node
+
+
+class TestCollectProperties:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10**6),
+        words=st.sets(st.text("abc", min_size=0, max_size=6), min_size=1, max_size=60),
+        prefix=st.text("abc", min_size=0, max_size=3),
+    )
+    def test_collect_equals_model_filter(self, seed, words, prefix):
+        trie = LazyTrie(num_processors=4, capacity=3, seed=seed)
+        expected = load(trie, sorted(words))
+        result = trie.collect_sync(prefix)
+        want = sorted(
+            (k, v) for k, v in expected.items() if k.startswith(prefix)
+        )
+        assert list(result) == want
+        report = trie.check(expected=expected)
+        assert report.ok, "\n".join(report.problems[:5])

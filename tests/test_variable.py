@@ -1,0 +1,219 @@
+"""Variable copies: join/unjoin, path replication, the Figure 6 race."""
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import DBTreeCluster
+from repro.core.actions import JoinRequest
+from repro.core.keys import NEG_INF
+
+
+def variable_cluster(seed=3, procs=4, capacity=4):
+    return DBTreeCluster(
+        num_processors=procs, protocol="variable", capacity=capacity, seed=seed
+    )
+
+
+class TestShape:
+    def test_dbtree_replication_shape(self):
+        cluster = variable_cluster(procs=8)
+        run_insert_workload(cluster, count=500)
+        from repro.stats import replication_profile
+
+        profile = replication_profile(cluster.engine)
+        assert profile[0]["avg_copies"] == 1.0  # leaves single-copy
+        root_level = max(profile)
+        assert profile[root_level]["avg_copies"] == 8  # root everywhere
+
+    def test_workload_correct(self):
+        cluster = variable_cluster()
+        expected = run_insert_workload(cluster, count=400)
+        assert_clean(cluster, expected=expected)
+
+
+class TestJoin:
+    @staticmethod
+    def _shrink_one_interior(cluster):
+        """Unjoin one non-PC member of a level-1 node; return (node, pid)."""
+        engine = cluster.engine
+        node = next(
+            c for c in engine.all_copies() if c.level == 1 and c.is_pc
+        )
+        leaver = next(p for p in node.copy_pids if p != node.pc_pid)
+        proc = cluster.kernel.processor(leaver)
+        copy = engine.copy_at(proc, node.node_id)
+        cluster.protocol.request_unjoin(proc, copy)
+        cluster.run()
+        return node, leaver
+
+    def test_unjoin_removes_member_everywhere(self):
+        cluster = variable_cluster()
+        run_insert_workload(cluster, count=150)
+        node, leaver = self._shrink_one_interior(cluster)
+        copies = [
+            c for c in cluster.engine.all_copies() if c.node_id == node.node_id
+        ]
+        assert leaver not in {c.home_pid for c in copies}
+        assert all(leaver not in c.copy_versions for c in copies)
+        assert cluster.trace.counters.get("unjoins", 0) == 1
+        assert_clean(cluster)
+
+    def test_unjoined_copy_discards_relays(self):
+        cluster = variable_cluster(seed=6)
+        expected = run_insert_workload(cluster, count=150)
+        node, leaver = self._shrink_one_interior(cluster)
+        # Drive more inserts through the shrunken node's subtree; any
+        # stale relays to the leaver must be discarded harmlessly.
+        extra = {}
+        for index in range(60):
+            key = 10**7 + index
+            extra[key] = index
+            cluster.insert(key, index, client=index % 4)
+        cluster.run()
+        expected.update(extra)
+        assert_clean(cluster, expected=expected)
+
+    def test_rejoin_after_unjoin(self):
+        cluster = variable_cluster(seed=9)
+        run_insert_workload(cluster, count=150)
+        node, leaver = self._shrink_one_interior(cluster)
+        version_before = [
+            c for c in cluster.engine.all_copies() if c.node_id == node.node_id
+        ][0].version
+        cluster.kernel.processor(node.pc_pid).submit(
+            JoinRequest(node.node_id, node.level, node.range.low, leaver)
+        )
+        cluster.run()
+        copies = [
+            c for c in cluster.engine.all_copies() if c.node_id == node.node_id
+        ]
+        assert leaver in {c.home_pid for c in copies}
+        assert all(c.version == version_before + 1 for c in copies)
+        assert_clean(cluster)
+
+    def test_joiner_receives_subsequent_inserts(self):
+        cluster = variable_cluster(seed=6)
+        expected = run_insert_workload(cluster, count=150)
+        node, leaver = self._shrink_one_interior(cluster)
+        cluster.kernel.processor(node.pc_pid).submit(
+            JoinRequest(node.node_id, node.level, node.range.low, leaver)
+        )
+        cluster.run()
+        extra = {}
+        base = 10**7
+        for index in range(40):
+            key = base + index
+            extra[key] = index
+            cluster.insert(key, index, client=index % 4)
+        cluster.run()
+        expected.update(extra)
+        assert_clean(cluster, expected=expected)
+
+
+class TestFigure6Race:
+    def test_insert_concurrent_with_join_reaches_joiner(self):
+        """The paper's Figure 6: without the version-number re-relay,
+        an insert performed concurrently with a join never reaches the
+        new copy.  The check asserts copy convergence, which fails if
+        the re-relay is broken."""
+        cluster = variable_cluster(seed=31)
+        expected = run_insert_workload(cluster, count=120)
+        engine = cluster.engine
+        node, outsider = TestJoin._shrink_one_interior(cluster)
+        # Fire the join and a burst of inserts into the node's range
+        # at the same instant from a *different* copy holder.
+        other_member = next(
+            p for p in node.copy_pids if p not in (node.pc_pid, outsider)
+        )
+        cluster.kernel.processor(node.pc_pid).submit(
+            JoinRequest(node.node_id, node.level, node.range.low, outsider)
+        )
+        low = node.range.low
+        base = 0 if low is NEG_INF else low
+        for index in range(20):
+            key = base + index * 7 + 1
+            if key in expected:
+                continue
+            expected[key] = f"race-{index}"
+            cluster.insert(key, f"race-{index}", client=other_member)
+        cluster.run()
+        report = assert_clean(cluster, expected=expected)
+        assert report.ok
+
+    def test_rerelay_counter_fires_under_forced_race(self):
+        # Aggregate evidence over a migration-heavy run.
+        cluster = variable_cluster(seed=8)
+        run_insert_workload(cluster, count=200)
+        from repro.workloads import DiffusiveBalancer
+
+        balancer = DiffusiveBalancer(
+            cluster, period=50.0, rounds=6, threshold=4, seed=2
+        )
+        balancer.start()
+        extra_base = 10**8
+        start = cluster.now
+        for index in range(200):
+            cluster.schedule(
+                start + index * 3.0,
+                "insert",
+                extra_base + index,
+                index,
+                client=index % 4,
+            )
+        cluster.run()
+        assert_clean(cluster)
+
+
+class TestUnjoinAndMigration:
+    def test_leaf_migration_joins_ancestors(self):
+        cluster = variable_cluster(seed=12)
+        expected = run_insert_workload(cluster, count=200)
+        engine = cluster.engine
+        # Move one leaf to a processor that holds nothing below level 1.
+        leaf = sorted(
+            (c for c in engine.all_copies() if c.is_leaf), key=lambda c: c.node_id
+        )[2]
+        target = (leaf.home_pid + 1) % cluster.num_processors
+        cluster.migrate_node(leaf.node_id, leaf.home_pid, target)
+        cluster.run()
+        target_proc = cluster.kernel.processor(target)
+        moved = engine.copy_at(target_proc, leaf.node_id)
+        assert moved is not None
+        # Path rule: the new holder has every ancestor of the leaf.
+        node = moved
+        while node.parent_id is not None:
+            parent = engine.copy_at(target_proc, node.parent_id)
+            assert parent is not None, (
+                f"processor {target} lacks ancestor {node.parent_id}"
+            )
+            node = parent
+        assert_clean(cluster, expected=expected)
+
+    def test_migration_triggers_unjoins_when_last_leaf_leaves(self):
+        cluster = variable_cluster(seed=12)
+        expected = run_insert_workload(cluster, count=300)
+        engine = cluster.engine
+        # Ship every leaf off processor 3.
+        donor = 3
+        proc = cluster.kernel.processor(donor)
+        leaves = [c for c in engine.store(proc).values() if c.is_leaf]
+        for index, leaf in enumerate(leaves):
+            cluster.migrate_node(leaf.node_id, donor, (donor + 1 + index) % 3)
+        cluster.run()
+        assert cluster.trace.counters.get("path_rule_unjoins", 0) >= 0
+        assert_clean(cluster, expected=expected)
+
+    def test_balancer_full_stack(self):
+        cluster = variable_cluster(seed=20, procs=8, capacity=8)
+        from repro.workloads import DiffusiveBalancer
+
+        balancer = DiffusiveBalancer(
+            cluster, period=300.0, rounds=8, threshold=8, seed=5
+        )
+        expected = {}
+        for index in range(600):
+            key = (index * 11) % 9973
+            expected[key] = index
+            cluster.schedule(index * 1.5, "insert", key, index, client=index % 8)
+        balancer.start(at=100.0)
+        cluster.run()
+        assert balancer.migrated_leaves > 0
+        assert_clean(cluster, expected=expected)
