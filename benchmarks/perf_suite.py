@@ -1,0 +1,78 @@
+"""Perf suite: the standard insert-burst across configurations.
+
+Prints a table comparing the fast-path configuration (trace off,
+aggregate accounting, leaf cache on) against selectively re-enabled
+features, so a regression in any single layer -- event kernel,
+network accounting, tracing, leaf cache -- shows up as its own row.
+
+Usage::
+
+    python benchmarks/perf_suite.py              # 20k ops per row
+    python benchmarks/perf_suite.py --ops 100000
+
+The authoritative speedup artifact is ``python -m repro bench``
+(writes BENCH_core.json, including the pinned seed-commit
+reference); this suite is the finer-grained diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf import SEED_REFERENCE, run_insert_burst
+
+CONFIGS = [
+    ("fast (off/aggregate/cache)", dict()),
+    ("trace ops", dict(trace_level="ops")),
+    ("trace full", dict(trace_level="full")),
+    ("accounting full", dict(accounting="full")),
+    ("cache off", dict(leaf_cache=False)),
+    ("seed settings (full/full/no-cache)",
+     dict(trace_level="full", accounting="full", leaf_cache=False)),
+]
+
+
+def run_suite(num_ops: int, seed: int = 0) -> list[tuple[str, dict]]:
+    rows = []
+    for label, overrides in CONFIGS:
+        rows.append((label, run_insert_burst(num_ops, seed=seed, **overrides)))
+    return rows
+
+
+def render(rows: list[tuple[str, dict]], num_ops: int) -> str:
+    lines = [
+        f"standard insert-burst, {num_ops:,} closed-loop inserts "
+        f"(4 processors, capacity 8, depth 4)",
+        "",
+        f"{'configuration':<36} {'ops/s':>10} {'events/s':>11} "
+        f"{'ev/op':>7} {'msgs/op':>8} {'hit':>6}",
+    ]
+    for label, r in rows:
+        hit = r["cache"].get("hit_rate")
+        lines.append(
+            f"{label:<36} {r['ops_per_sec']:>10,.0f} "
+            f"{r['events_per_sec']:>11,.0f} {r['events_per_op']:>7.2f} "
+            f"{r['msgs_per_op']:>8.2f} "
+            f"{hit if hit is None else format(hit, '.3f')!s:>6}"
+        )
+    ref = SEED_REFERENCE
+    lines.append("")
+    lines.append(
+        f"pinned seed reference (rev {ref['rev']}, {ref['num_ops']:,} ops): "
+        f"{ref['ops_per_sec']:,.0f} ops/s, {ref['events_per_op']:.1f} ev/op"
+    )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rows = run_suite(args.ops, seed=args.seed)
+    print(render(rows, args.ops))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

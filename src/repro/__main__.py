@@ -9,6 +9,12 @@ Commands
     The same for the lazy distributed hash table.
 ``protocols``
     List the available replica-maintenance protocols.
+``bench``
+    Run the standard insert-burst throughput benchmark and write
+    ``BENCH_core.json`` (see :mod:`repro.perf`).
+``profile``
+    cProfile the fast benchmark configuration and print the hottest
+    functions.
 ``version``
     Print the package version.
 """
@@ -85,6 +91,74 @@ def _cmd_protocols(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import write_bench_core
+
+    num_ops = 2_000 if args.smoke else args.ops
+    report = write_bench_core(
+        args.output,
+        num_ops=num_ops,
+        seed=args.seed,
+        include_seed_settings=not args.smoke,
+    )
+    fast = report["fast"]
+    print(
+        f"standard insert-burst ({num_ops:,} ops): "
+        f"{fast['ops_per_sec']:,.0f} ops/s, "
+        f"{fast['events_per_sec']:,.0f} events/s, "
+        f"{fast['events_per_op']:.2f} events/op, "
+        f"{fast['msgs_per_op']:.2f} msgs/op, "
+        f"cache hit rate {fast['cache']['hit_rate']:.3f}"
+    )
+    if "speedup_vs_seed_settings_live" in report:
+        live = report["seed_settings_live"]
+        print(
+            f"seed settings (trace full, accounting full, no cache): "
+            f"{live['ops_per_sec']:,.0f} ops/s "
+            f"({report['speedup_vs_seed_settings_live']:.1f}x slower "
+            f"than the fast configuration)"
+        )
+    speedup = report["speedup_vs_seed_reference"]
+    ref = report["seed_reference"]
+    if speedup is not None:
+        print(
+            f"speedup vs pinned seed reference "
+            f"({ref['ops_per_sec']:,.0f} ops/s at rev {ref['rev']}): "
+            f"{speedup:.1f}x"
+        )
+    else:
+        print(
+            f"(pinned seed reference is {ref['ops_per_sec']:,.0f} ops/s at "
+            f"{ref['num_ops']:,} ops; rerun with --ops {ref['num_ops']} "
+            f"for the comparable speedup)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro.perf import run_insert_burst
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_insert_burst(args.ops, seed=args.seed)
+    profiler.disable()
+    print(
+        f"profiled {result['ops_completed']:,} ops "
+        f"({result['events_executed']:,} events)\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.limit)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote raw profile to {args.output} (open with pstats/snakeviz)")
+    return 0
+
+
 def _cmd_version(_args: argparse.Namespace) -> int:
     import repro
 
@@ -120,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     protocols = subparsers.add_parser("protocols", help="list protocols")
     protocols.set_defaults(func=_cmd_protocols)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the standard insert-burst benchmark"
+    )
+    bench.add_argument("--ops", type=int, default=100_000)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default="BENCH_core.json")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run (2k ops, fast configuration only) for CI",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    profile = subparsers.add_parser(
+        "profile", help="cProfile the fast benchmark configuration"
+    )
+    profile.add_argument("--ops", type=int, default=20_000)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls", "time", "calls"],
+    )
+    profile.add_argument("--limit", type=int, default=25)
+    profile.add_argument("--output", default=None,
+                         help="also dump the raw profile to this path")
+    profile.set_defaults(func=_cmd_profile)
 
     version = subparsers.add_parser("version", help="print the version")
     version.set_defaults(func=_cmd_version)

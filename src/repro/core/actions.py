@@ -51,12 +51,27 @@ class SearchStep:
 
     Non-update action: examines the target node and issues the next
     subsequent action (descend, move right, or act on the leaf).
+
+    ``cached`` marks a step routed by a leaf-location hint instead of
+    a root descent; if the hint turns out stale the flag lets the
+    engine count exactly one stale-recovery per operation.
     """
 
     kind = "search"
 
     node_id: int
     op: OpContext
+    cached: bool = False
+
+    def with_node(self, node_id: int) -> "SearchStep":
+        """Re-addressed copy; faster than ``dataclasses.replace``."""
+        return SearchStep(node_id, self.op, self.cached)
+
+    def uncached(self) -> "SearchStep":
+        """The same step with the cache provenance cleared."""
+        if not self.cached:
+            return self
+        return SearchStep(self.node_id, self.op, False)
 
 
 @dataclass(frozen=True)
@@ -79,15 +94,25 @@ class ScanStep:
     op: OpContext
     collected: tuple = ()
 
+    def with_node(self, node_id: int) -> "ScanStep":
+        """Re-addressed copy; faster than ``dataclasses.replace``."""
+        return ScanStep(node_id, self.level, self.key, self.op, self.collected)
+
 
 @dataclass(frozen=True)
 class ReturnValue:
-    """Return-value action routed to the operation's home processor."""
+    """Return-value action routed to the operation's home processor.
+
+    ``leaf_hint`` piggybacks the acting leaf's location -- ``(leaf_id,
+    low, high, copy_pids)`` -- so the home processor's leaf cache
+    learns where the key lives without any extra message.
+    """
 
     kind = "return"
 
     op: OpContext
     result: Any
+    leaf_hint: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -111,6 +136,34 @@ class InsertAction:
     payload_pids: tuple[int, ...] = ()
     op: OpContext | None = None
 
+    def with_node(self, node_id: int) -> "InsertAction":
+        """Re-addressed copy; faster than ``dataclasses.replace``."""
+        return InsertAction(
+            node_id,
+            self.level,
+            self.key,
+            self.payload,
+            self.mode,
+            self.action_id,
+            self.origin_version,
+            self.payload_pids,
+            self.op,
+        )
+
+    def relayed(self, origin_version: int) -> "InsertAction":
+        """The relayed form sent to peer copies; op identity dropped."""
+        return InsertAction(
+            self.node_id,
+            self.level,
+            self.key,
+            self.payload,
+            Mode.RELAYED,
+            self.action_id,
+            origin_version,
+            self.payload_pids,
+            None,
+        )
+
     @property
     def kind(self) -> str:
         return f"insert_{self.mode.value}"
@@ -126,6 +179,18 @@ class DeleteAction:
     mode: Mode
     action_id: int
     op: OpContext | None = None
+
+    def with_node(self, node_id: int) -> "DeleteAction":
+        """Re-addressed copy; faster than ``dataclasses.replace``."""
+        return DeleteAction(
+            node_id, self.level, self.key, self.mode, self.action_id, self.op
+        )
+
+    def relayed(self, origin_version: int = 0) -> "DeleteAction":
+        """The relayed form sent to peer copies; op identity dropped."""
+        return DeleteAction(
+            self.node_id, self.level, self.key, Mode.RELAYED, self.action_id, None
+        )
 
     @property
     def kind(self) -> str:
@@ -247,6 +312,20 @@ class LinkChange:
     version: int
     action_id: int
     mode: Mode = Mode.INITIAL
+
+    def with_node(self, node_id: int) -> "LinkChange":
+        """Re-addressed copy; faster than ``dataclasses.replace``."""
+        return LinkChange(
+            node_id,
+            self.level,
+            self.key,
+            self.slot,
+            self.target_id,
+            self.target_pids,
+            self.version,
+            self.action_id,
+            self.mode,
+        )
 
     @property
     def kind(self) -> str:

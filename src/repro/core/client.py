@@ -33,7 +33,7 @@ from repro.core.replication import ReplicationPolicy
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, UniformLatency
 from repro.sim.simulator import Kernel
-from repro.sim.tracing import OperationRecord
+from repro.sim.tracing import OperationRecord, Trace
 
 
 @dataclass
@@ -74,6 +74,18 @@ class DBTreeCluster:
         Seed for all randomness.
     fault_plan:
         Optional network fault injection (A2 ablation only).
+    trace_level:
+        ``"full"`` (default) records everything the history checkers
+        need; ``"ops"`` keeps operation lifecycle + counters only;
+        ``"off"`` keeps counters only.  Non-full levels make
+        ``check()`` raise :class:`~repro.sim.tracing.TraceLevelError`.
+    accounting:
+        Network/processor statistics verbosity: ``"full"`` (default),
+        ``"aggregate"`` (scalar totals only), or ``"off"``.
+    leaf_cache:
+        Enable the per-processor leaf-location hint cache
+        (:mod:`repro.core.leafcache`).  Correctness-neutral: stale
+        hints recover via B-link out-of-range forwarding.
     """
 
     def __init__(
@@ -89,6 +101,9 @@ class DBTreeCluster:
         fault_plan: FaultPlan | None = None,
         latency_model: LatencyModel | None = None,
         relay_batch_window: float | None = None,
+        trace_level: str = "full",
+        accounting: str = "full",
+        leaf_cache: bool = False,
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -105,13 +120,16 @@ class DBTreeCluster:
             service_time=service_time,
             seed=seed,
             fault_plan=fault_plan,
+            accounting=accounting,
         )
         self.engine = DBTreeEngine(
             kernel=self.kernel,
             protocol=self.protocol,
             policy=replication,
             capacity=capacity,
+            trace=Trace(level=trace_level),
             relay_batch_window=relay_batch_window,
+            leaf_cache=leaf_cache,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +267,10 @@ class DBTreeCluster:
 
     def message_stats(self) -> dict[str, Any]:
         return self.kernel.network.stats.snapshot()
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Leaf-location cache accounting; see DBTreeEngine.leaf_cache_stats."""
+        return self.engine.leaf_cache_stats()
 
     def utilization(self) -> dict[int, float]:
         return self.kernel.utilization()

@@ -37,7 +37,8 @@ from repro.core.actions import (
     SearchStep,
     SetRoot,
 )
-from repro.core.keys import POS_INF, Key, KeyRange
+from repro.core.keys import POS_INF, Key, KeyRange, key_lt
+from repro.core.leafcache import LeafHintCache
 from repro.core.node import NodeCopy, NodeSnapshot
 from repro.core.piggyback import BatchedRelays
 from repro.core.replication import Placement, ReplicationPolicy
@@ -90,12 +91,22 @@ class DBTreeEngine:
         capacity: int = 8,
         trace: Trace | None = None,
         relay_batch_window: float | None = None,
+        leaf_cache: bool = False,
     ) -> None:
         self.kernel = kernel
         self.protocol = protocol
         self.policy = policy
         self.capacity = capacity
         self.trace = trace or Trace()
+        # Per-processor key -> leaf hints (None = feature off).  Stale
+        # hints are safe by construction: a misdirected operation
+        # recovers via B-link out-of-range forwarding, see
+        # :mod:`repro.core.leafcache`.
+        self._leaf_caches: dict[int, LeafHintCache] | None = (
+            {pid: LeafHintCache() for pid in kernel.processors}
+            if leaf_cache
+            else None
+        )
         if relay_batch_window is not None:
             from repro.core.piggyback import RelayBatcher
 
@@ -240,6 +251,21 @@ class DBTreeEngine:
             home_pid=home_pid,
         )
         self.trace.record_op_submitted(op.op_id, kind, key, home_pid, self.now)
+        caches = self._leaf_caches
+        if caches is not None and kind != "scan":
+            hint = caches[home_pid].lookup(key)
+            if hint is not None:
+                self.trace.counters["leaf_cache_hit"] += 1
+                leaf_id = hint[0]
+                self.route_to_node(
+                    proc,
+                    leaf_id,
+                    SearchStep(node_id=leaf_id, op=op, cached=True),
+                    level=0,
+                    key=key,
+                )
+                return op.op_id
+            self.trace.counters["leaf_cache_miss"] += 1
         root_id = self.root_id_of(proc)
         self.route_to_node(
             proc, root_id, SearchStep(node_id=root_id, op=op), level=None, key=key
@@ -259,9 +285,24 @@ class DBTreeEngine:
             time, lambda: self.submit_operation(kind, key, value, home_pid)
         )
 
-    def complete_op(self, proc: Processor, op: OpContext, result: Any) -> None:
-        """Issue the return-value action toward the op's home."""
-        action = ReturnValue(op=op, result=result)
+    def complete_op(
+        self,
+        proc: Processor,
+        op: OpContext,
+        result: Any,
+        leaf: NodeCopy | None = None,
+    ) -> None:
+        """Issue the return-value action toward the op's home.
+
+        When the acting leaf is known and leaf caching is on, its
+        location rides back on the return value so the home
+        processor's cache learns it for free.
+        """
+        hint = None
+        if leaf is not None and self._leaf_caches is not None:
+            node_range = leaf.range
+            hint = (leaf.node_id, node_range.low, node_range.high, leaf.copy_pids)
+        action = ReturnValue(op=op, result=result, leaf_hint=hint)
         if op.home_pid == proc.pid:
             proc.submit(action)
         else:
@@ -272,7 +313,18 @@ class DBTreeEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def retarget(action: Any, node_id: int) -> Any:
-        """The same action re-addressed to another node."""
+        """The same action re-addressed to another node.
+
+        Already-addressed actions pass through untouched; the common
+        action types provide ``with_node`` (direct construction,
+        roughly an order of magnitude cheaper than
+        ``dataclasses.replace`` on this hot path).
+        """
+        if action.node_id == node_id:
+            return action
+        with_node = getattr(action, "with_node", None)
+        if with_node is not None:
+            return with_node(node_id)
         return replace(action, node_id=node_id)
 
     def send_relay(self, src_pid: int, dst_pid: int, action: Any) -> None:
@@ -378,25 +430,41 @@ class DBTreeEngine:
             return
         root_id = proc.state["root_id"]
         entry = proc.state["locator"].get(root_id)
-        if entry is None:
+        pids = [p for p in entry[1] if p != proc.pid] if entry is not None else []
+        if not pids:
+            # This processor's knowledge is exhausted: it stores no
+            # nodes and its locator offers no other root holder (it
+            # may be arbitrarily stale or poisoned -- locators are
+            # hints, never ground truth).  Hand the action around the
+            # ring instead of failing; the first processor that
+            # actually stores anything restarts navigation, and the
+            # walk terminates because the root exists somewhere.
+            all_pids = self.kernel.pids
+            if len(all_pids) > 1:
+                self.trace.bump("recovery_ring_forward")
+                index = all_pids.index(proc.pid)
+                next_pid = all_pids[(index + 1) % len(all_pids)]
+                self.kernel.route(proc.pid, next_pid, action)
+                return
             raise RuntimeError(
                 f"processor {proc.pid} cannot locate the root for recovery"
-            )
-        pids = [p for p in entry[1] if p != proc.pid]
-        if not pids:
-            raise RuntimeError(
-                f"processor {proc.pid} believes only it holds the root, "
-                f"but has no root copy"
             )
         self.kernel.route(
             proc.pid, self.kernel.rng.choice(pids), self.retarget(action, root_id)
         )
 
     def forward_same_level(self, proc: Processor, copy: NodeCopy, action: Any, key: Key) -> None:
-        """B-link lateral forwarding for an out-of-range action."""
+        """B-link lateral forwarding for an out-of-range action.
+
+        Rightward moves at leaf level may shortcut through the leaf
+        cache: instead of crawling one sibling at a time, jump to a
+        cached leaf believed to cover the key.  The shortcut is taken
+        only when the cached leaf's low bound is *strictly greater*
+        than this copy's low -- leaf lows are immutable, so progress
+        stays monotone rightward and stale hints cannot cycle.
+        """
         if copy.range.contains(key):
             raise ValueError("forwarding an in-range action")
-        from repro.core.keys import key_lt
 
         if key_lt(key, copy.range.low):
             target = copy.left_id
@@ -404,6 +472,12 @@ class DBTreeEngine:
         else:
             target = copy.right_id
             self.trace.bump("forward_right")
+            caches = self._leaf_caches
+            if caches is not None and copy.level == 0:
+                hint = caches[proc.pid].lookup(key)
+                if hint is not None and key_lt(copy.range.low, hint[1]):
+                    self.trace.counters["leaf_cache_shortcut"] += 1
+                    target = hint[0]
         if target is None:
             # No lateral link: recover by re-navigating from above.
             self._recover_route(
@@ -439,16 +513,24 @@ class DBTreeEngine:
     # central dispatch
     # ------------------------------------------------------------------
     def handle(self, proc: Processor, action: Any) -> None:
+        # Dispatch ordered by hot-path frequency: descents and keyed
+        # updates dominate every workload, then return values.
         if isinstance(action, SearchStep):
             self._on_search(proc, action)
+        elif isinstance(action, (InsertAction, DeleteAction)):
+            self._on_keyed_update(proc, action)
         elif isinstance(action, ReturnValue):
+            hint = action.leaf_hint
+            if hint is not None and self._leaf_caches is not None:
+                leaf_id, low, high, copy_pids = hint
+                self._leaf_caches[proc.pid].learn(low, high, leaf_id)
+                if copy_pids:
+                    self.learn_location(proc, leaf_id, copy_pids)
             self.trace.record_op_completed(action.op.op_id, action.result, self.now)
             for listener in self.op_completion_listeners:
                 listener(action.op, action.result)
         elif isinstance(action, ScanStep):
             self._on_scan(proc, action)
-        elif isinstance(action, (InsertAction, DeleteAction)):
-            self._on_keyed_update(proc, action)
         elif isinstance(action, LinkChange):
             self._on_link_change(proc, action)
         elif isinstance(action, CreateCopy):
@@ -483,6 +565,12 @@ class DBTreeEngine:
             return  # the protocol queued it (vigorous baseline only)
         self.trace.record_op_hop(op.op_id)
         if not copy.in_range(op.key):
+            if action.cached:
+                # The hint was stale (the leaf split since we learned
+                # it); count one recovery and continue as a normal
+                # B-link forward.
+                self.trace.counters["leaf_cache_stale"] += 1
+                action = action.uncached()
             self.forward_same_level(proc, copy, action, op.key)
             return
         if copy.is_leaf:
@@ -492,9 +580,13 @@ class DBTreeEngine:
         self.route_to_node(proc, child, action, level=copy.level - 1, key=op.key)
 
     def _act_on_leaf(self, proc: Processor, copy: NodeCopy, op: OpContext) -> None:
+        caches = self._leaf_caches
+        if caches is not None:
+            node_range = copy.range
+            caches[proc.pid].learn(node_range.low, node_range.high, copy.node_id)
         if op.kind == "search":
             result = copy.lookup(op.key) if copy.has_key(op.key) else None
-            self.complete_op(proc, op, result)
+            self.complete_op(proc, op, result, leaf=copy)
             return
         if op.kind == "scan":
             proc.submit(
@@ -589,13 +681,51 @@ class DBTreeEngine:
                 return  # deferred by an AAS (synchronous protocol)
             if isinstance(action, InsertAction):
                 self.protocol.initial_insert(proc, copy, action)
+                if action.payload_pids and copy.level >= 1:
+                    self._refresh_parent_hints(
+                        proc, copy, action.key, action.payload
+                    )
             else:
                 self.protocol.initial_delete(proc, copy, action)
         else:
             if isinstance(action, InsertAction):
                 self.protocol.relayed_insert(proc, copy, action)
+                if (
+                    action.payload_pids
+                    and copy.level >= 1
+                    and copy.in_range(action.key)
+                ):
+                    self._refresh_parent_hints(
+                        proc, copy, action.key, action.payload
+                    )
             else:
                 self.protocol.relayed_delete(proc, copy, action)
+
+    def _refresh_parent_hints(
+        self, proc: Processor, parent: NodeCopy, separator: Key, sibling_id: int
+    ) -> None:
+        """Point local children at the parent that actually holds them.
+
+        A child's ``parent_id`` is a navigational hint set at creation
+        time; as the parent level splits, the hint drifts left and the
+        child's next parent insert crawls right across the whole level
+        (the dominant event cost on sustained insert bursts).  When a
+        separator insert lands in-range at an interior copy, both
+        children it concerns -- the new sibling and the child that
+        split -- are provably owned by *this* node now, so refresh any
+        local copies' hints.  Pure hint maintenance: no messages, no
+        trace, and a stale hint would still recover by forwarding.
+        """
+        store = self.store(proc)
+        child_level = parent.level - 1
+        child = store.get(sibling_id)
+        if child is not None and child.level == child_level:
+            child.parent_id = parent.node_id
+        left_id = parent.child_left_of(separator)
+        if left_id is not None:
+            child = store.get(left_id)
+            if child is not None and child.level == child_level:
+                child.parent_id = parent.node_id
 
     # ------------------------------------------------------------------
     # link changes (ordered actions; Sections 4.2-4.3)
@@ -660,21 +790,22 @@ class DBTreeEngine:
         copy.link_versions[action.slot] = action.version
         if action.target_id is not None:
             self.learn_location(proc, action.target_id, action.target_pids)
-        params = ("link_change", action.slot, action.target_id, action.version)
-        record = (
-            self.trace.record_initial
-            if action.mode is Mode.INITIAL
-            else self.trace.record_relayed
-        )
-        record(
-            node_id=copy.node_id,
-            pid=proc.pid,
-            action_id=action.action_id,
-            kind="link_change",
-            params=params,
-            version=action.version,
-            time=self.now,
-        )
+        if self.trace.record_updates:
+            params = ("link_change", action.slot, action.target_id, action.version)
+            record = (
+                self.trace.record_initial
+                if action.mode is Mode.INITIAL
+                else self.trace.record_relayed
+            )
+            record(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action.action_id,
+                kind="link_change",
+                params=params,
+                version=action.version,
+                time=self.now,
+            )
         copy.incorporated_ids.add(action.action_id)
         if action.mode is Mode.INITIAL:
             for pid in copy.peers_of(proc.pid):
@@ -708,6 +839,11 @@ class DBTreeEngine:
         proc.state["forward"].pop(copy.node_id, None)
         self.trace.record_birth(copy.node_id, proc.pid, birth_set, self.now)
         self.learn_location(proc, copy.node_id, copy.copy_pids, copy.version)
+        if copy.is_leaf and self._leaf_caches is not None:
+            node_range = copy.range
+            self._leaf_caches[proc.pid].learn(
+                node_range.low, node_range.high, copy.node_id
+            )
         self.protocol.after_copy_installed(proc, copy, reason)
         # A copy can be born overfull (a burst of inserts before the
         # split executes leaves the sibling with more than half of a
@@ -769,6 +905,11 @@ class DBTreeEngine:
             self.trace.bump("link_change_undeliverable")
             return
         if isinstance(action, SearchStep):
+            if action.cached:
+                # Cache pointed at a copy this processor no longer
+                # stores (migrated / crashed / collected).
+                self.trace.counters["leaf_cache_stale"] += 1
+                action = action.uncached()
             self._recover_route(proc, action, level=0, key=action.op.key)
             return
         if hasattr(action, "level") and hasattr(action, "key"):
@@ -878,16 +1019,22 @@ class DBTreeEngine:
         upper = copy.apply_half_split(separator, sibling_id)
         action_id = self.trace.new_action_id()
         copy.incorporated_ids.add(action_id)
-        self.trace.record_initial(
-            node_id=copy.node_id,
-            pid=proc.pid,
-            action_id=action_id,
-            kind="half_split",
-            params=("half_split", separator, sibling_id),
-            version=copy.version,
-            time=self.now,
-        )
+        if self.trace.record_updates:
+            self.trace.record_initial(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action_id,
+                kind="half_split",
+                params=("half_split", separator, sibling_id),
+                version=copy.version,
+                time=self.now,
+            )
         self.trace.bump("half_splits")
+        if copy.is_leaf and self._leaf_caches is not None:
+            # The splitting processor's own cache sees the new world
+            # immediately: the shrunk copy now, the sibling below.
+            cache = self._leaf_caches[proc.pid]
+            cache.learn(copy.range.low, separator, copy.node_id)
 
         if growing:
             parent_id = self._grow_root(
@@ -912,6 +1059,8 @@ class DBTreeEngine:
         for key, payload in upper:
             sibling.insert_entry(key, payload)
         self.learn_location(proc, sibling_id, placement.member_pids, sibling.version)
+        if sibling.is_leaf and self._leaf_caches is not None:
+            self._leaf_caches[proc.pid].learn(separator, old_high, sibling_id)
 
         remote_members = [p for p in placement.member_pids if p != proc.pid]
         if proc.pid in placement.member_pids:
@@ -1026,6 +1175,34 @@ class DBTreeEngine:
             self._on_set_root(proc, announce)
         self.trace.bump("root_growths")
         return new_root_id
+
+    # ------------------------------------------------------------------
+    # leaf-cache statistics
+    # ------------------------------------------------------------------
+    def leaf_cache_stats(self) -> dict[str, Any]:
+        """Hit/miss/stale accounting for the leaf-location cache.
+
+        Counters are kept in the trace (live at every trace level).
+        ``hit_rate`` is hits over consults; ``stale`` counts cached
+        routes that needed B-link recovery (a hit that cost extra
+        hops, never a wrong answer).
+        """
+        counters = self.trace.counters
+        hits = counters.get("leaf_cache_hit", 0)
+        misses = counters.get("leaf_cache_miss", 0)
+        consults = hits + misses
+        caches = self._leaf_caches
+        return {
+            "enabled": caches is not None,
+            "hits": hits,
+            "misses": misses,
+            "stale_recoveries": counters.get("leaf_cache_stale", 0),
+            "shortcuts": counters.get("leaf_cache_shortcut", 0),
+            "hit_rate": (hits / consults) if consults else 0.0,
+            "entries": (
+                sum(len(cache) for cache in caches.values()) if caches else 0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # whole-tree inspection (verification support; not part of the

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.core.keys import Bound, Key, KeyRange, key_lt
 
@@ -168,6 +168,13 @@ class NodeCopy:
     def entries(self) -> tuple[tuple[Key, Any], ...]:
         return tuple((k, self._payloads[k]) for k in self._keys)
 
+    def iter_entries(self) -> "Iterator[tuple[Key, Any]]":
+        """Yield (key, payload) pairs in key order without building a
+        tuple; preferred when the caller only iterates once."""
+        payloads = self._payloads
+        for key in self._keys:
+            yield key, payloads[key]
+
     def lookup(self, key: Key) -> Any:
         """The payload stored under ``key``; KeyError if absent."""
         return self._payloads[key]
@@ -215,6 +222,20 @@ class NodeCopy:
             raise ValueError(
                 f"key {key!r} below first separator of node {self.node_id}"
             )
+        return self._payloads[self._keys[index]]
+
+    def child_left_of(self, separator: Key) -> int | None:
+        """The child id whose separator immediately precedes ``separator``.
+
+        Used for parent-hint maintenance: when a separator insert
+        lands, the entry just left of it names the child that split.
+        Returns None at leaves or when no entry precedes the separator.
+        """
+        if self.level == 0:
+            return None
+        index = bisect.bisect_left(self._keys, separator) - 1
+        if index < 0:
+            return None
         return self._payloads[self._keys[index]]
 
     # ------------------------------------------------------------------

@@ -185,15 +185,16 @@ class Protocol:
         engine = self._engine()
         result = self._apply_keyed(copy, action)
         copy.incorporated_ids.add(action.action_id)
-        engine.trace.record_initial(
-            node_id=copy.node_id,
-            pid=proc.pid,
-            action_id=action.action_id,
-            kind=action.kind.split("_")[0],
-            params=engine.update_params(action),
-            version=copy.version,
-            time=engine.now,
-        )
+        if engine.trace.record_updates:
+            engine.trace.record_initial(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action.action_id,
+                kind=action.kind.split("_")[0],
+                params=engine.update_params(action),
+                version=copy.version,
+                time=engine.now,
+            )
         if isinstance(action, InsertAction) and action.payload_pids:
             engine.learn_location(proc, action.payload, action.payload_pids)
         return result
@@ -202,13 +203,12 @@ class Protocol:
         """Send the relayed form of an initial update to every peer."""
         engine = self._engine()
         peers = copy.peers_of(proc.pid)
+        if not peers:
+            return 0
+        relayed = action.relayed(copy.version)
+        src = proc.pid
         for pid in peers:
-            relayed = replace(
-                action, mode=Mode.RELAYED, op=None, origin_version=copy.version
-            ) if isinstance(action, InsertAction) else replace(
-                action, mode=Mode.RELAYED, op=None
-            )
-            engine.send_relay(proc.pid, pid, relayed)
+            engine.send_relay(src, pid, relayed)
         return len(peers)
 
     def apply_relayed_keyed(
@@ -226,15 +226,16 @@ class Protocol:
             return False
         self._apply_keyed(copy, action)
         copy.incorporated_ids.add(action.action_id)
-        engine.trace.record_relayed(
-            node_id=copy.node_id,
-            pid=proc.pid,
-            action_id=action.action_id,
-            kind=action.kind.split("_")[0],
-            params=engine.update_params(action),
-            version=copy.version,
-            time=engine.now,
-        )
+        if engine.trace.record_updates:
+            engine.trace.record_relayed(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action.action_id,
+                kind=action.kind.split("_")[0],
+                params=engine.update_params(action),
+                version=copy.version,
+                time=engine.now,
+            )
         if isinstance(action, InsertAction) and action.payload_pids:
             engine.learn_location(proc, action.payload, action.payload_pids)
         return True
@@ -244,7 +245,12 @@ class Protocol:
     ) -> None:
         engine = self._engine()
         if action.op is not None:
-            engine.complete_op(proc, action.op, result=result)
+            engine.complete_op(
+                proc,
+                action.op,
+                result=result,
+                leaf=copy if copy.is_leaf else None,
+            )
         self.maybe_split(proc, copy)
 
     # ------------------------------------------------------------------
@@ -311,20 +317,26 @@ class Protocol:
             # counter lets the A2 ablation observe it.
             engine.trace.bump("relayed_split_out_of_range")
             return
+        old_high = copy.range.high
         copy.apply_half_split(action.separator, action.sibling_id)
         if action.parent_hint is not None:
             copy.parent_id = action.parent_hint
         copy.incorporated_ids.add(action.action_id)
         engine.learn_location(proc, action.sibling_id, action.sibling_pids)
-        engine.trace.record_relayed(
-            node_id=copy.node_id,
-            pid=proc.pid,
-            action_id=action.action_id,
-            kind="half_split",
-            params=("half_split", action.separator, action.sibling_id),
-            version=copy.version,
-            time=engine.now,
-        )
+        if copy.is_leaf and engine._leaf_caches is not None:
+            cache = engine._leaf_caches[proc.pid]
+            cache.learn(copy.range.low, action.separator, copy.node_id)
+            cache.learn(action.separator, old_high, action.sibling_id)
+        if engine.trace.record_updates:
+            engine.trace.record_relayed(
+                node_id=copy.node_id,
+                pid=proc.pid,
+                action_id=action.action_id,
+                kind="half_split",
+                params=("half_split", action.separator, action.sibling_id),
+                version=copy.version,
+                time=engine.now,
+            )
 
     # ------------------------------------------------------------------
     # protocol-specific messages

@@ -21,7 +21,7 @@ Everything is deterministic: ties in the event queue break on a
 monotone sequence number and all randomness flows through seeds.
 """
 
-from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.events import EventHandle, EventQueue, ScheduledEvent
 from repro.sim.failure import FaultPlan
 from repro.sim.network import (
     LatencyModel,
@@ -34,6 +34,7 @@ from repro.sim.processor import Processor
 from repro.sim.simulator import Kernel, QuiescenceError
 
 __all__ = [
+    "EventHandle",
     "EventQueue",
     "ScheduledEvent",
     "FaultPlan",

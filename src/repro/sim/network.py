@@ -18,9 +18,17 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Protocol
 
 from repro.sim.events import EventQueue
+
+#: Message-accounting modes, cheapest last: ``"full"`` keeps the
+#: per-kind and per-channel Counters, ``"aggregate"`` keeps only the
+#: scalar totals (sent/delivered/dropped/duplicated), ``"off"`` keeps
+#: nothing.  Large perf runs use aggregate or off; everything that
+#: audits message complexity needs full (the default).
+ACCOUNTING_MODES = ("full", "aggregate", "off")
 
 
 class LatencyModel(Protocol):
@@ -41,6 +49,11 @@ class UniformLatency:
 
     base: float = 10.0
     jitter: float = 0.0
+
+    @property
+    def fixed_latency(self) -> float | None:
+        """Constant transit time, when the model degenerates to one."""
+        return self.base if self.jitter <= 0 else None
 
     def latency(self, src: int, dst: int, rng: random.Random) -> float:
         if self.jitter <= 0:
@@ -67,6 +80,11 @@ class LogNormalLatency:
             raise ValueError(f"median must be positive, got {self.median}")
         if self.sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @property
+    def fixed_latency(self) -> float | None:
+        """Constant transit time, when the model degenerates to one."""
+        return self.median if self.sigma == 0 else None
 
     def latency(self, src: int, dst: int, rng: random.Random) -> float:
         if self.sigma == 0:
@@ -142,12 +160,25 @@ class Network:
         latency_model: LatencyModel | None = None,
         rng: random.Random | None = None,
         fault_plan: "FaultPlanLike | None" = None,
+        accounting: str = "full",
     ) -> None:
+        if accounting not in ACCOUNTING_MODES:
+            raise ValueError(
+                f"accounting must be one of {ACCOUNTING_MODES}, got {accounting!r}"
+            )
         self._events = events
         self._latency_model = latency_model or UniformLatency()
         self._rng = rng or random.Random(0)
         self._fault_plan = fault_plan
         self._deliver: Callable[[int, Any], None] | None = None
+        self.accounting = accounting
+        self._count_kinds = accounting == "full"
+        self._count_totals = accounting != "off"
+        # Constant transit time, when the latency model admits one;
+        # lets the no-fault fast path skip the strategy call entirely.
+        self._fixed_latency: float | None = getattr(
+            self._latency_model, "fixed_latency", None
+        )
         # Last *scheduled* delivery time per channel; FIFO enforcement.
         self._channel_clock: dict[tuple[int, int], float] = {}
         self.stats = NetworkStats()
@@ -176,15 +207,31 @@ class Network:
                 "local actions must be enqueued locally"
             )
 
-        self.stats.sent += 1
-        self.stats.by_kind[message_kind(payload)] += 1
-        self.stats.by_channel[(src, dst)] += 1
+        if self._count_totals:
+            stats = self.stats
+            stats.sent += 1
+            if self._count_kinds:
+                stats.by_kind[message_kind(payload)] += 1
+                stats.by_channel[(src, dst)] += 1
 
-        if self._fault_plan is not None:
-            verdicts = self._fault_plan.judge(src, dst, payload, self._rng)
-        else:
-            verdicts = ((False, 0.0),)
+        if self._fault_plan is None:
+            # No-fault fast path: the paper's reliable exactly-once
+            # FIFO network, with no verdict machinery.
+            transit = self._fixed_latency
+            if transit is None:
+                transit = self._latency_model.latency(src, dst, self._rng)
+            events = self._events
+            arrival = events.now + transit
+            channel = (src, dst)
+            clock = self._channel_clock
+            floor = clock.get(channel)
+            if floor is not None and floor > arrival:
+                arrival = floor
+            clock[channel] = arrival
+            events.push(arrival, partial(self._fire, dst, payload))
+            return
 
+        verdicts = self._fault_plan.judge(src, dst, payload, self._rng)
         for dropped, extra_delay in verdicts:
             if dropped:
                 self.stats.dropped += 1
@@ -207,13 +254,13 @@ class Network:
         if len(verdicts) > 1:
             self.stats.duplicated += len(verdicts) - 1
 
-    def _schedule_delivery(self, arrival: float, dst: int, payload: Any) -> None:
-        def _fire() -> None:
+    def _fire(self, dst: int, payload: Any) -> None:
+        if self._count_totals:
             self.stats.delivered += 1
-            assert self._deliver is not None
-            self._deliver(dst, payload)
+        self._deliver(dst, payload)  # type: ignore[misc]
 
-        self._events.schedule(arrival, _fire)
+    def _schedule_delivery(self, arrival: float, dst: int, payload: Any) -> None:
+        self._events.push(arrival, partial(self._fire, dst, payload))
 
 
 class FaultPlanLike(Protocol):

@@ -62,16 +62,26 @@ class Processor:
         pid: int,
         events: EventQueue,
         service_time: float | ServiceTimeFn = 1.0,
+        accounting: str = "full",
     ) -> None:
         self.pid = pid
         self._events = events
+        self._const_service: float | None
         if callable(service_time):
             self._service_time: ServiceTimeFn = service_time
+            self._const_service = None
         else:
             constant = float(service_time)
+            if constant < 0:
+                raise ValueError(f"negative service time {constant}")
             self._service_time = lambda _action: constant
+            self._const_service = constant
+        # "full" keeps the per-kind Counter plus queue-wait detail;
+        # "aggregate"/"off" keep only the scalars utilization() needs.
+        self._track_detail = accounting == "full"
         self._queue: deque[tuple[Any, float]] = deque()
         self._busy = False
+        self._in_service: Any = None
         self._handler: ActionHandler | None = None
         self.stats = ProcessorStats()
         # Arbitrary per-processor state owned by the engine (node
@@ -103,24 +113,35 @@ class Processor:
         """
         if self._handler is None:
             raise RuntimeError(f"processor {self.pid} has no handler installed")
-        self._queue.append((action, self._events.now))
-        self.stats.max_queue_len = max(self.stats.max_queue_len, len(self._queue))
+        queue = self._queue
+        queue.append((action, self._events.now))
+        if self._track_detail and len(queue) > self.stats.max_queue_len:
+            self.stats.max_queue_len = len(queue)
         if not self._busy:
             self._start_next()
 
     def _start_next(self) -> None:
         action, enqueued_at = self._queue.popleft()
         self._busy = True
-        self.stats.wait_time += self._events.now - enqueued_at
-        service = self._service_time(action)
-        if service < 0:
-            raise ValueError(f"negative service time {service} for {action!r}")
+        events = self._events
+        if self._track_detail:
+            self.stats.wait_time += events.now - enqueued_at
+        service = self._const_service
+        if service is None:
+            service = self._service_time(action)
+            if service < 0:
+                raise ValueError(f"negative service time {service} for {action!r}")
         self.stats.busy_time += service
-        self._events.schedule_after(service, lambda: self._complete(action))
+        # No per-action closure: the single-server discipline means at
+        # most one action is in service, so it rides an instance slot.
+        self._in_service = action
+        events.push(events.now + service, self._complete_in_service)
 
-    def _complete(self, action: Any) -> None:
+    def _complete_in_service(self) -> None:
+        action = self._in_service
         self.stats.actions_executed += 1
-        self.stats.by_kind[message_kind(action)] += 1
+        if self._track_detail:
+            self.stats.by_kind[message_kind(action)] += 1
         assert self._handler is not None
         try:
             self._handler(self, action)

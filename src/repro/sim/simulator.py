@@ -40,6 +40,11 @@ class Kernel:
     fault_plan:
         Optional fault injection; ``None`` gives the paper's reliable
         exactly-once FIFO network.
+    accounting:
+        Statistics verbosity for the network and processors: ``"full"``
+        (default) keeps per-kind/per-channel Counters, ``"aggregate"``
+        keeps only scalar totals, ``"off"`` drops even those where
+        nothing downstream needs them.  Perf runs use aggregate/off.
     """
 
     #: Default guard on run length; large enough for every experiment
@@ -53,19 +58,24 @@ class Kernel:
         service_time: float | ServiceTimeFn = 1.0,
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
+        accounting: str = "full",
     ) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
         self.events = EventQueue()
         self.rng = random.Random(seed)
+        self.accounting = accounting
         self.network = Network(
             self.events,
             latency_model=latency_model or UniformLatency(),
             rng=random.Random(seed + 1),
             fault_plan=fault_plan,
+            accounting=accounting,
         )
         self.processors: dict[int, Processor] = {
-            pid: Processor(pid, self.events, service_time=service_time)
+            pid: Processor(
+                pid, self.events, service_time=service_time, accounting=accounting
+            )
             for pid in range(num_processors)
         }
         self.network.install_delivery(self._on_delivery)

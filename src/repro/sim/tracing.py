@@ -18,13 +18,64 @@ the :mod:`repro.verify` checkers then audit at quiescence:
 Operation-level events (submit/complete) and block/unblock events are
 also recorded here; they feed the latency, throughput, and
 blocked-time metrics.
+
+Trace levels
+------------
+
+Recording a full per-copy update history costs an object allocation
+per update and dominates memory on million-op runs, so the trace has
+three levels (:class:`TraceLevel`):
+
+* ``FULL`` -- everything, as described above.  Required by the
+  history checkers in :mod:`repro.verify`.
+* ``OPS`` -- operation lifecycle + counters only; update histories,
+  birth sets and M_n are skipped.  Latency/throughput metrics still
+  work; the history checkers do not (they raise
+  :class:`TraceLevelError`).
+* ``OFF`` -- counters only.  Perf runs measuring raw throughput.
+
+At non-FULL levels the skipped ``record_*`` methods are rebound to a
+no-op *on the instance*, so hot call sites pay one attribute load and
+an empty call, not a level check.  Call sites that would do real work
+just to build the arguments (e.g. assembling a params tuple) should
+gate on :attr:`Trace.record_updates` instead.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
+
+
+class TraceLevel(str, enum.Enum):
+    """How much the trace records; see the module docstring."""
+
+    FULL = "full"
+    OPS = "ops"
+    OFF = "off"
+
+    @classmethod
+    def coerce(cls, value: "TraceLevel | str") -> "TraceLevel":
+        """Accept a TraceLevel or its string name/value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(level.value for level in cls)
+            raise ValueError(
+                f"unknown trace level {value!r}; expected one of: {names}"
+            ) from None
+
+
+class TraceLevelError(RuntimeError):
+    """A verifier needs trace data the chosen level did not record."""
+
+
+def _noop(*_args: Any, **_kwargs: Any) -> None:
+    """Replacement body for record methods disabled by the level."""
 
 
 @dataclass(frozen=True)
@@ -86,7 +137,23 @@ class OperationRecord:
 class Trace:
     """Accumulates everything the verifiers and metrics need."""
 
-    def __init__(self) -> None:
+    def __init__(self, level: TraceLevel | str = TraceLevel.FULL) -> None:
+        self.level = TraceLevel.coerce(level)
+        #: Whether update histories are being recorded.  Hot call
+        #: sites that build params tuples should gate on this rather
+        #: than calling a noop'd method with expensive arguments.
+        self.record_updates = self.level is TraceLevel.FULL
+        if self.level is not TraceLevel.FULL:
+            self.record_birth = _noop  # type: ignore[method-assign]
+            self.record_copy_deleted = _noop  # type: ignore[method-assign]
+            self.record_initial = _noop  # type: ignore[method-assign]
+            self.record_relayed = _noop  # type: ignore[method-assign]
+        if self.level is TraceLevel.OFF:
+            self.record_op_submitted = _noop  # type: ignore[method-assign]
+            self.record_op_hop = _noop  # type: ignore[method-assign]
+            self.record_op_completed = _noop  # type: ignore[method-assign]
+            self.record_block = _noop  # type: ignore[method-assign]
+            self.record_unblock = _noop  # type: ignore[method-assign]
         self._next_action_id = 0
         # M_n: node_id -> {action_id: (kind, params)}
         self.issued: dict[int, dict[int, tuple[str, Hashable]]] = defaultdict(dict)

@@ -55,7 +55,7 @@ def dump_tree(engine: "DBTreeEngine", show_entries: bool = False) -> str:
                 f"pc={node.pc_pid} on[{pids}]"
             )
             if show_entries:
-                for key, payload in node.entries():
+                for key, payload in node.iter_entries():
                     lines.append(f"      {key!r} -> {payload!r}")
     return "\n".join(lines)
 

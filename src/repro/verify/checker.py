@@ -31,11 +31,24 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.keys import Key
 from repro.core.node import NodeCopy
+from repro.sim.tracing import TraceLevel, TraceLevelError
 from repro.verify.invariants import check_structure, representative_nodes
 
 if TYPE_CHECKING:
     from repro.core.dbtree import DBTreeEngine
     from repro.sim.tracing import Trace
+
+
+def _require_full(trace: "Trace", checker: str) -> None:
+    """History checkers audit per-copy update histories, which only a
+    FULL-level trace records; anything else would vacuously pass."""
+    level = getattr(trace, "level", TraceLevel.FULL)
+    if level is not TraceLevel.FULL:
+        raise TraceLevelError(
+            f"{checker} needs a FULL trace, but this run recorded "
+            f"level={level.value!r}; rerun with trace_level='full' "
+            "to audit histories"
+        )
 
 
 @dataclass
@@ -78,7 +91,7 @@ def leaf_contents(engine: "DBTreeEngine") -> dict[Key, Any]:
     for node in representative_nodes(engine).values():
         if not node.is_leaf:
             continue
-        for key, value in node.entries():
+        for key, value in node.iter_entries():
             # A key in two leaves is a partition violation; the
             # structural checks flag it, so keep the first sighting.
             contents.setdefault(key, value)
@@ -146,6 +159,7 @@ def _key_rehomed(
 def check_compatible_histories(engine: "DBTreeEngine") -> list[str]:
     """Birth set + applied updates must account for M_n at every copy."""
     trace = engine.trace
+    _require_full(trace, "check_compatible_histories")
     problems = []
     nodes = representative_nodes(engine)
     for node_id, issued in trace.issued.items():
@@ -237,6 +251,7 @@ def check_ordered_histories(trace: "Trace") -> list[str]:
     Link-changes are ordered per slot; join/unjoin registrations are
     ordered per node (the PC serializes them and relays FIFO).
     """
+    _require_full(trace, "check_ordered_histories")
     problems = []
     for (node_id, pid), copy_history in trace.copies.items():
         last_by_slot: dict[str, int] = {}
@@ -268,8 +283,9 @@ def check_ordered_histories(trace: "Trace") -> list[str]:
 # ----------------------------------------------------------------------
 def check_trace_store_agreement(engine: "DBTreeEngine") -> list[str]:
     """A copy is live in the trace iff it is in a node store."""
-    problems = []
     trace = engine.trace
+    _require_full(trace, "check_trace_store_agreement")
+    problems = []
     stored = {
         (copy.node_id, copy.home_pid) for copy in engine.all_copies()
     }
@@ -293,6 +309,7 @@ def check_all(
     """Run every checker; a clean report means the computation met the
     complete, compatible, and ordered history requirements and the
     tree is structurally sound."""
+    _require_full(engine.trace, "check_all")
     report = CheckReport()
     report.extend("complete-ops", check_complete_operations(engine.trace))
     report.extend("structure", check_structure(engine))

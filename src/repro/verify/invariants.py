@@ -118,7 +118,7 @@ def check_parent_child(engine: "DBTreeEngine") -> list[str]:
     for node in nodes.values():
         if node.is_leaf:
             continue
-        for separator, child_id in node.entries():
+        for separator, child_id in node.iter_entries():
             child = nodes.get(child_id)
             if child is None:
                 if child_id in retired_ids:
@@ -165,7 +165,7 @@ def check_reachability(engine: "DBTreeEngine") -> list[str]:
         if node.right_id is not None:
             frontier.append(node.right_id)
         if not node.is_leaf:
-            frontier.extend(child for _key, child in node.entries())
+            frontier.extend(child for _key, child in node.iter_entries())
     for node in nodes.values():
         if node.node_id not in reached:
             problems.append(

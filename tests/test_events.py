@@ -75,6 +75,30 @@ class TestCancellation:
 
 
 class TestGuards:
+    def test_max_events_executes_exactly_the_bound(self):
+        """Regression: the guard used to execute max_events + 1 events
+        before raising; it must raise *before* running the event past
+        the bound."""
+        q = EventQueue()
+        fired = []
+        for t in range(5):
+            q.schedule(float(t), lambda t=t: fired.append(t))
+        with pytest.raises(RuntimeError, match="max_events"):
+            q.run(max_events=3)
+        assert fired == [0, 1, 2]  # exactly 3, not 4
+        # The offending event is still queued and runs on resume.
+        assert q.pending == 2
+        q.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_max_events_equal_to_queue_size_is_fine(self):
+        q = EventQueue()
+        fired = []
+        for t in range(3):
+            q.schedule(float(t), lambda t=t: fired.append(t))
+        assert q.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
     def test_max_events_guard(self):
         q = EventQueue()
 

@@ -7,6 +7,7 @@ import pytest
 from repro.sim.events import EventQueue
 from repro.sim.failure import FaultPlan
 from repro.sim.network import (
+    LogNormalLatency,
     Network,
     NetworkStats,
     TopologyLatency,
@@ -80,6 +81,53 @@ class TestDelivery:
         assert [p for _t, _d, p in delivered] == [0, 1, 2]
         times = [t for t, _d, _p in delivered]
         assert times == sorted(times)
+
+    def test_fifo_per_channel_under_lognormal(self):
+        # The heavy-tailed model draws wildly different transits; the
+        # channel clock must still deliver in send order.  Regression
+        # guard for the no-fault fast path, which skips sampling only
+        # when the model advertises a fixed latency.
+        events, net, delivered = make_net(
+            latency=LogNormalLatency(median=5.0, sigma=1.5), seed=11
+        )
+        for index in range(100):
+            net.send(0, 1, index)
+        events.run()
+        assert [p for _t, _d, p in delivered] == list(range(100))
+
+    def test_fifo_staggered_sends_under_lognormal(self):
+        events, net, delivered = make_net(
+            latency=LogNormalLatency(median=2.0, sigma=2.0), seed=5
+        )
+        for index in range(30):
+            events.schedule(float(index), lambda i=index: net.send(3, 1, i))
+        events.run()
+        assert [p for _t, _d, p in delivered] == list(range(30))
+        times = [t for t, _d, _p in delivered]
+        assert times == sorted(times)
+
+    def test_fifo_under_jitter_all_accounting_modes(self):
+        # The accounting mode changes bookkeeping only, never timing:
+        # identical delivery schedule in every mode.
+        schedules = []
+        for mode in ("full", "aggregate", "off"):
+            events = EventQueue()
+            net = Network(
+                events,
+                latency_model=UniformLatency(base=5.0, jitter=20.0),
+                rng=random.Random(9),
+                accounting=mode,
+            )
+            delivered = []
+            net.install_delivery(
+                lambda dst, payload: delivered.append((events.now, payload))
+            )
+            for index in range(40):
+                net.send(0, 1, index)
+            events.run()
+            assert [p for _t, p in delivered] == list(range(40))
+            schedules.append(delivered)
+        assert schedules[0] == schedules[1] == schedules[2]
 
 
 class TestAccounting:
