@@ -1,0 +1,178 @@
+"""Experiment X5 (extension) -- manufacturing the network assumption.
+
+A2 shows the paper's reliable exactly-once FIFO assumption is
+load-bearing: drops and reordering break the complete/compatible/
+ordered guarantees.  X5 closes the loop the way a real deployment
+must: ``reliability="enforced"`` runs every protocol over a lossy
+substrate (drop or reorder probability 0.2 on *all* message kinds,
+not just relays) with the reliable-delivery layer rebuilding the
+assumption end-to-end -- per-message sequencing, receiver dedup,
+cumulative acks piggybacked on reverse traffic, sender timeout +
+retransmission with backoff, and receiver resequencing.
+
+Reported per protocol and fault plan, across seeds:
+
+* whether the full verify audit passes with the substrate *assumed*
+  reliable (it should not -- that is A2's point), and with
+  reliability *enforced* (it must),
+* the wire amplification of enforcement (physical frames put on the
+  wire / logical messages, vs. the clean assumed-reliable baseline's
+  1.0), and the insert-latency amplification vs. that baseline.
+
+Two protocol-specific notes.  The deliberately incorrect ``naive``
+strawman (Figure 4) is excluded: it fails the audit on a *clean*
+network by design, so reliability enforcement can prove nothing
+about it.  And the ``mobile`` protocol passes even the assumed-mode
+reorder scenario: its nodes are single-copy, so there is no relay
+stream whose FIFO order matters, and misrouted keyed updates re-home
+by key -- an incidental robustness the replicated protocols do not
+share (it still needs enforcement against drops).
+"""
+
+from common import emit, insert_burst
+from repro import DBTreeCluster, FaultPlan
+from repro.sim.simulator import QuiescenceError
+from repro.stats import format_table, latency_summary
+
+SEEDS = (3, 5, 7)
+
+PLANS = [
+    ("drop 20%", FaultPlan(drop_p=0.2)),
+    ("reorder 20%", FaultPlan(reorder_p=0.2, reorder_delay=100.0)),
+]
+
+PROTOCOLS = ("sync", "semisync", "mobile", "variable")
+
+INSERTS = 220
+
+
+def measure(
+    protocol: str,
+    plan: FaultPlan | None,
+    reliability: str,
+    seed: int,
+) -> dict:
+    """One run: audit verdict plus wire and latency accounting."""
+    cluster = DBTreeCluster(
+        num_processors=4,
+        protocol=protocol,
+        capacity=4,
+        seed=seed,
+        fault_plan=plan,
+        reliability=reliability,
+    )
+    try:
+        expected = insert_burst(cluster, count=INSERTS)
+        report = cluster.check(expected=expected)
+        audit_ok = report.ok
+        problems = len(report.problems)
+    except QuiescenceError:
+        # A protocol livelocked/stalled under the faults: as broken
+        # as a failed audit, just louder.
+        audit_ok = False
+        problems = -1
+    stats = cluster.kernel.network.stats
+    latency = latency_summary(cluster.trace, "insert")
+    return {
+        "audit_ok": audit_ok,
+        "problems": problems,
+        "logical": stats.sent,
+        "wire": stats.physical_sent,
+        "retransmits": stats.retransmits,
+        "acks": stats.acks,
+        "dup_suppressed": stats.dup_suppressed,
+        "resequenced": stats.resequenced,
+        "mean_latency": latency.get("mean", 0.0),
+    }
+
+
+def sweep() -> list[dict]:
+    """All protocol x plan cells, aggregated over the seeds."""
+    cells = []
+    for protocol in PROTOCOLS:
+        # Clean assumed-reliable run: the overhead denominator.
+        baselines = [measure(protocol, None, "assumed", seed) for seed in SEEDS]
+        base_wire = sum(b["wire"] for b in baselines) / len(baselines)
+        base_latency = sum(b["mean_latency"] for b in baselines) / len(baselines)
+        for plan_label, plan in PLANS:
+            assumed = [measure(protocol, plan, "assumed", seed) for seed in SEEDS]
+            enforced = [
+                measure(protocol, plan, "enforced", seed) for seed in SEEDS
+            ]
+            wire = sum(r["wire"] for r in enforced) / len(enforced)
+            latency = sum(r["mean_latency"] for r in enforced) / len(enforced)
+            cells.append(
+                {
+                    "protocol": protocol,
+                    "plan": plan_label,
+                    "assumed_ok": sum(r["audit_ok"] for r in assumed),
+                    "enforced_ok": sum(r["audit_ok"] for r in enforced),
+                    "seeds": len(SEEDS),
+                    "wire_x": wire / base_wire if base_wire else 0.0,
+                    "latency_x": latency / base_latency if base_latency else 0.0,
+                    "retransmits": sum(r["retransmits"] for r in enforced),
+                    "resequenced": sum(r["resequenced"] for r in enforced),
+                }
+            )
+    return cells
+
+
+def run_experiment() -> str:
+    rows = []
+    for cell in sweep():
+        rows.append(
+            [
+                cell["protocol"],
+                cell["plan"],
+                f"{cell['assumed_ok']}/{cell['seeds']}",
+                f"{cell['enforced_ok']}/{cell['seeds']}",
+                f"{cell['wire_x']:.2f}",
+                f"{cell['latency_x']:.2f}",
+                cell["retransmits"],
+                cell["resequenced"],
+            ]
+        )
+    table = format_table(
+        [
+            "protocol",
+            "fault plan",
+            "assumed ok",
+            "enforced ok",
+            "wire x",
+            "latency x",
+            "retransmits",
+            "resequenced",
+        ],
+        rows,
+        title=(
+            "X5: reliable delivery manufactures the paper's network "
+            "assumption -- every protocol passes the full audit over a "
+            "lossy substrate once enforcement is on (overheads vs. the "
+            "clean assumed-reliable baseline)"
+        ),
+    )
+    return emit("x5_reliable_delivery", table)
+
+
+def test_x5_reliable_delivery(benchmark):
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for cell in cells:
+        where = f"{cell['protocol']} / {cell['plan']}"
+        # Enforcement restores the paper's model: every seed audits
+        # clean for every protocol under both fault plans.
+        assert cell["enforced_ok"] == cell["seeds"], where
+        if cell["protocol"] == "mobile" and cell["plan"] == "reorder 20%":
+            # Single-copy nodes have no FIFO-dependent relay stream;
+            # reordering alone cannot hurt mobile (see module doc).
+            assert cell["assumed_ok"] == cell["seeds"], where
+        else:
+            # The assumed baseline demonstrably fails the scenarios.
+            assert cell["assumed_ok"] < cell["seeds"], where
+    # Reliability is not free: wire amplification is real but bounded.
+    worst = max(cell["wire_x"] for cell in cells)
+    assert 1.0 < worst < 6.0, worst
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -47,6 +47,7 @@ from repro.core.replication import (
 )
 from repro.protocols import PROTOCOLS, make_protocol
 from repro.sim.failure import FaultPlan
+from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.verify.checker import CheckReport, check_all
 from repro.verify.model import OracleMap
 
@@ -69,6 +70,8 @@ __all__ = [
     "PROTOCOLS",
     "make_protocol",
     "FaultPlan",
+    "ReliabilityConfig",
+    "ReliabilityError",
     "CheckReport",
     "check_all",
     "OracleMap",

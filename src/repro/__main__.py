@@ -26,14 +26,23 @@ import sys
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import DBTreeCluster
+    from repro import DBTreeCluster, FaultPlan
     from repro.tools import cluster_summary, dump_tree
 
+    fault_plan = None
+    if args.drop_p or args.duplicate_p or args.reorder_p:
+        fault_plan = FaultPlan(
+            drop_p=args.drop_p,
+            duplicate_p=args.duplicate_p,
+            reorder_p=args.reorder_p,
+        )
     cluster = DBTreeCluster(
         num_processors=args.processors,
         protocol=args.protocol,
         capacity=args.capacity,
         seed=args.seed,
+        fault_plan=fault_plan,
+        reliability=args.reliability,
     )
     expected = {}
     for index in range(args.inserts):
@@ -46,6 +55,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(dump_tree(cluster.engine))
     print()
+    stats = cluster.kernel.network.stats
+    if args.reliability == "enforced" or fault_plan is not None:
+        print(
+            f"network: {stats.sent} logical msgs, "
+            f"{stats.physical_sent} on the wire "
+            f"({stats.retransmits} retransmits, {stats.acks} acks), "
+            f"{stats.dropped} dropped, "
+            f"{stats.dup_suppressed} dups suppressed, "
+            f"{stats.resequenced} resequenced"
+        )
     print("audit:", report.summary())
     if not report.ok:
         for problem in report.problems[:10]:
@@ -179,6 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--capacity", type=int, default=8)
     demo.add_argument("--inserts", type=int, default=120)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--reliability",
+        default="assumed",
+        choices=["assumed", "enforced"],
+        help="'enforced' turns on the reliable-delivery layer "
+        "(dedup + acks + retransmission + resequencing)",
+    )
+    demo.add_argument(
+        "--drop-p", type=float, default=0.0,
+        help="probability the substrate drops a message",
+    )
+    demo.add_argument(
+        "--duplicate-p", type=float, default=0.0,
+        help="probability the substrate duplicates a message",
+    )
+    demo.add_argument(
+        "--reorder-p", type=float, default=0.0,
+        help="probability a message bypasses per-channel FIFO",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     hash_demo = subparsers.add_parser(

@@ -32,6 +32,7 @@ from repro.core.keys import Key
 from repro.core.replication import ReplicationPolicy
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.reliable import ReliabilityConfig
 from repro.sim.simulator import Kernel
 from repro.sim.tracing import OperationRecord, Trace
 
@@ -86,6 +87,14 @@ class DBTreeCluster:
         Enable the per-processor leaf-location hint cache
         (:mod:`repro.core.leafcache`).  Correctness-neutral: stale
         hints recover via B-link out-of-range forwarding.
+    reliability:
+        ``"assumed"`` (default) trusts the network, as the paper
+        does; ``"enforced"`` turns on the reliable-delivery layer so
+        the protocols stay correct even when ``fault_plan`` drops or
+        reorders messages (see :mod:`repro.sim.reliable`).
+    reliability_config:
+        Optional :class:`~repro.sim.reliable.ReliabilityConfig`
+        tuning retransmission and ack timing for ``"enforced"``.
     """
 
     def __init__(
@@ -104,6 +113,8 @@ class DBTreeCluster:
         trace_level: str = "full",
         accounting: str = "full",
         leaf_cache: bool = False,
+        reliability: str = "assumed",
+        reliability_config: ReliabilityConfig | None = None,
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -121,6 +132,8 @@ class DBTreeCluster:
             seed=seed,
             fault_plan=fault_plan,
             accounting=accounting,
+            reliability=reliability,
+            reliability_config=reliability_config,
         )
         self.engine = DBTreeEngine(
             kernel=self.kernel,

@@ -18,7 +18,8 @@ Experiment A1 sweeps the window and reports messages per insert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:
     from repro.core.dbtree import DBTreeEngine
@@ -47,6 +48,10 @@ class RelayBatcher:
         self._engine = engine
         self.window = window
         self._buffers: dict[tuple[int, int], list[Any]] = {}
+        # One flush callback per channel, allocated on first use: the
+        # flush never cancels, so it rides EventQueue.push (the PR 1
+        # hot-path convention -- no EventHandle, no per-arm closure).
+        self._flushers: dict[tuple[int, int], Callable[[], None]] = {}
         self.batches_sent = 0
         self.relays_batched = 0
 
@@ -58,9 +63,11 @@ class RelayBatcher:
             buffer.append(action)
             return
         self._buffers[channel] = [action]
-        self._engine.kernel.events.schedule_after(
-            self.window, lambda: self._flush(channel)
-        )
+        flusher = self._flushers.get(channel)
+        if flusher is None:
+            flusher = self._flushers[channel] = partial(self._flush, channel)
+        events = self._engine.kernel.events
+        events.push(events.now + self.window, flusher)
 
     def _flush(self, channel: tuple[int, int]) -> None:
         buffer = self._buffers.pop(channel, None)

@@ -16,6 +16,10 @@ that model:
 * :mod:`repro.sim.failure` -- optional fault injection (drop,
   duplicate, reorder) used by the ablation experiments to show that
   the reliability assumption is load-bearing.
+* :mod:`repro.sim.reliable` -- the opt-in reliable-delivery layer
+  (sequence numbers, dedup, cumulative acks, retransmission,
+  resequencing) that *manufactures* the paper's network assumption
+  over a faulty substrate (``reliability="enforced"``).
 
 Everything is deterministic: ties in the event queue break on a
 monotone sequence number and all randomness flows through seeds.
@@ -31,9 +35,19 @@ from repro.sim.network import (
     UniformLatency,
 )
 from repro.sim.processor import Processor
+from repro.sim.reliable import (
+    RELIABILITY_MODES,
+    ReliabilityConfig,
+    ReliabilityError,
+    ReliableTransport,
+)
 from repro.sim.simulator import Kernel, QuiescenceError
 
 __all__ = [
+    "RELIABILITY_MODES",
+    "ReliabilityConfig",
+    "ReliabilityError",
+    "ReliableTransport",
     "EventHandle",
     "EventQueue",
     "ScheduledEvent",

@@ -57,15 +57,22 @@ class FaultPlan:
         """Decide the fate of one message.
 
         Returns one (dropped, extra_delay) verdict per delivery
-        attempt; duplicates produce two verdicts.
+        attempt; duplication produces two attempts.  Each attempt is
+        judged *independently* -- a duplicate's extra copy can itself
+        be dropped or reordered, and a message can be both duplicated
+        and have one copy lost, matching how independent per-packet
+        faults behave on a real channel.
         """
         if not self._applies(payload):
             return ((False, 0.0),)
-        if self.drop_p and rng.random() < self.drop_p:
-            return ((True, 0.0),)
-        extra = 0.0
-        if self.reorder_p and rng.random() < self.reorder_p:
-            extra = rng.uniform(0.0, self.reorder_delay)
-        if self.duplicate_p and rng.random() < self.duplicate_p:
-            return ((False, extra), (False, 0.0))
-        return ((False, extra),)
+        attempts = 2 if self.duplicate_p and rng.random() < self.duplicate_p else 1
+        verdicts = []
+        for _ in range(attempts):
+            if self.drop_p and rng.random() < self.drop_p:
+                verdicts.append((True, 0.0))
+                continue
+            extra = 0.0
+            if self.reorder_p and rng.random() < self.reorder_p:
+                extra = rng.uniform(0.0, self.reorder_delay)
+            verdicts.append((False, extra))
+        return tuple(verdicts)

@@ -6,6 +6,17 @@ reliable, delivering every message exactly once in order."*  The
 latency model by never scheduling a delivery earlier than the
 previously scheduled delivery on the same (src, dst) channel.
 
+The assumption can be *held* two ways (the ``reliability`` mode):
+
+* ``"assumed"`` (default) -- the substrate itself is reliable, as the
+  paper posits; a fault plan, if any, punches holes straight through
+  to the protocols (the A2 ablation).
+* ``"enforced"`` -- every logical send travels through the
+  :class:`~repro.sim.reliable.ReliableTransport` layer (sequence
+  numbers, dedup, cumulative acks, retransmission, resequencing),
+  which rebuilds exactly-once FIFO delivery *end-to-end* over
+  whatever the substrate drops, duplicates, or reorders.
+
 Every message is counted by *kind* (the class name of the payload, or
 an explicit ``kind`` attribute), which is how the benchmarks measure
 the paper's message-complexity claims (e.g. the semi-synchronous split
@@ -22,6 +33,11 @@ from functools import partial
 from typing import Any, Callable, Protocol
 
 from repro.sim.events import EventQueue
+from repro.sim.reliable import (
+    RELIABILITY_MODES,
+    ReliabilityConfig,
+    ReliableTransport,
+)
 
 #: Message-accounting modes, cheapest last: ``"full"`` keeps the
 #: per-kind and per-channel Counters, ``"aggregate"`` keeps only the
@@ -111,14 +127,38 @@ class TopologyLatency:
 
 @dataclass
 class NetworkStats:
-    """Aggregate message accounting, reset-able between phases."""
+    """Aggregate message accounting, reset-able between phases.
+
+    ``sent`` and ``delivered`` count *logical* messages (the payloads
+    protocols exchange).  The reliable-delivery layer's extra wire
+    traffic is broken out separately: ``retransmits`` (extra physical
+    transmissions of a data frame), ``acks`` (standalone ack frames;
+    piggybacked acks are free), ``dup_suppressed`` (arrivals the
+    receiver discarded as already-delivered), and ``resequenced``
+    (arrivals parked in the reorder buffer until the gap filled).
+    ``dropped``/``duplicated`` count substrate fault verdicts in both
+    reliability modes.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
     duplicated: int = 0
+    retransmits: int = 0
+    acks: int = 0
+    dup_suppressed: int = 0
+    resequenced: int = 0
     by_kind: Counter = field(default_factory=Counter)
     by_channel: Counter = field(default_factory=Counter)
+
+    @property
+    def physical_sent(self) -> int:
+        """Frames actually put on the wire (the enforcement overhead).
+
+        Logical sends plus retransmissions plus standalone acks; in
+        ``"assumed"`` mode this equals ``sent``.
+        """
+        return self.sent + self.retransmits + self.acks
 
     def snapshot(self) -> dict[str, Any]:
         """Return a plain-dict copy suitable for reports."""
@@ -127,6 +167,11 @@ class NetworkStats:
             "delivered": self.delivered,
             "dropped": self.dropped,
             "duplicated": self.duplicated,
+            "retransmits": self.retransmits,
+            "acks": self.acks,
+            "dup_suppressed": self.dup_suppressed,
+            "resequenced": self.resequenced,
+            "physical_sent": self.physical_sent,
             "by_kind": dict(self.by_kind),
             "by_channel": dict(self.by_channel),
         }
@@ -161,10 +206,17 @@ class Network:
         rng: random.Random | None = None,
         fault_plan: "FaultPlanLike | None" = None,
         accounting: str = "full",
+        reliability: str = "assumed",
+        reliability_config: ReliabilityConfig | None = None,
     ) -> None:
         if accounting not in ACCOUNTING_MODES:
             raise ValueError(
                 f"accounting must be one of {ACCOUNTING_MODES}, got {accounting!r}"
+            )
+        if reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"reliability must be one of {RELIABILITY_MODES}, "
+                f"got {reliability!r}"
             )
         self._events = events
         self._latency_model = latency_model or UniformLatency()
@@ -174,6 +226,12 @@ class Network:
         self.accounting = accounting
         self._count_kinds = accounting == "full"
         self._count_totals = accounting != "off"
+        self.reliability = reliability
+        self.transport: ReliableTransport | None = (
+            ReliableTransport(self, reliability_config)
+            if reliability == "enforced"
+            else None
+        )
         # Constant transit time, when the latency model admits one;
         # lets the no-fault fast path skip the strategy call entirely.
         self._fixed_latency: float | None = getattr(
@@ -214,6 +272,13 @@ class Network:
                 stats.by_kind[message_kind(payload)] += 1
                 stats.by_channel[(src, dst)] += 1
 
+        if self.transport is not None:
+            # Enforced mode: the reliable layer frames the payload and
+            # owns ordering/dedup; the substrate (fault plan + latency)
+            # is applied per physical frame in _transmit_frame.
+            self.transport.send(src, dst, payload)
+            return
+
         if self._fault_plan is None:
             # No-fault fast path: the paper's reliable exactly-once
             # FIFO network, with no verdict machinery.
@@ -232,9 +297,11 @@ class Network:
             return
 
         verdicts = self._fault_plan.judge(src, dst, payload, self._rng)
+        count_totals = self._count_totals
         for dropped, extra_delay in verdicts:
             if dropped:
-                self.stats.dropped += 1
+                if count_totals:
+                    self.stats.dropped += 1
                 continue
             if extra_delay > 0:
                 # A reorder/duplicate verdict bypasses the FIFO clamp;
@@ -247,11 +314,12 @@ class Network:
                 transit = self._latency_model.latency(src, dst, self._rng)
                 arrival = self._events.now + transit
                 channel = (src, dst)
-                floor = self._channel_clock.get(channel, 0.0)
-                arrival = max(arrival, floor)
+                floor = self._channel_clock.get(channel)
+                if floor is not None and floor > arrival:
+                    arrival = floor
                 self._channel_clock[channel] = arrival
             self._schedule_delivery(arrival, dst, payload)
-        if len(verdicts) > 1:
+        if count_totals and len(verdicts) > 1:
             self.stats.duplicated += len(verdicts) - 1
 
     def _fire(self, dst: int, payload: Any) -> None:
@@ -261,6 +329,51 @@ class Network:
 
     def _schedule_delivery(self, arrival: float, dst: int, payload: Any) -> None:
         self._events.push(arrival, partial(self._fire, dst, payload))
+
+    # ------------------------------------------------------------------
+    # enforced-reliability plumbing (ReliableTransport calls back in)
+    # ------------------------------------------------------------------
+    def _transmit_frame(self, src: int, dst: int, frame: Any) -> None:
+        """Put one physical frame on the lossy substrate.
+
+        Applies the fault plan per transmission (retransmissions are
+        judged afresh, like real packets) and the latency model, but
+        *not* the FIFO channel clamp: ordering is the reliable
+        layer's job, via sequence numbers and resequencing, so frames
+        race each other freely -- which is exactly what makes the
+        enforcement end-to-end rather than cosmetic.
+        """
+        events = self._events
+        if self._fault_plan is None:
+            transit = self._fixed_latency
+            if transit is None:
+                transit = self._latency_model.latency(src, dst, self._rng)
+            events.push(
+                events.now + transit, partial(self._frame_arrival, src, dst, frame)
+            )
+            return
+        verdicts = self._fault_plan.judge(src, dst, frame, self._rng)
+        count_totals = self._count_totals
+        for dropped, extra_delay in verdicts:
+            if dropped:
+                if count_totals:
+                    self.stats.dropped += 1
+                continue
+            transit = self._latency_model.latency(src, dst, self._rng) + extra_delay
+            events.push(
+                events.now + transit, partial(self._frame_arrival, src, dst, frame)
+            )
+        if count_totals and len(verdicts) > 1:
+            self.stats.duplicated += len(verdicts) - 1
+
+    def _frame_arrival(self, src: int, dst: int, frame: Any) -> None:
+        self.transport.on_frame(src, dst, frame)  # type: ignore[union-attr]
+
+    def _deliver_logical(self, dst: int, payload: Any) -> None:
+        """Hand an in-order, deduplicated payload to the processor."""
+        if self._count_totals:
+            self.stats.delivered += 1
+        self._deliver(dst, payload)  # type: ignore[misc]
 
 
 class FaultPlanLike(Protocol):

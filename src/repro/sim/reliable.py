@@ -1,0 +1,441 @@
+"""Reliable delivery over a lossy channel.
+
+The paper's protocols are proved correct only under a reliable,
+exactly-once, per-channel FIFO network (Section 4), and the A2
+ablation shows the assumption is load-bearing: drops lose updates and
+reordering breaks the relayed-split ordering.  A real deployment does
+not get that network for free -- it *manufactures* it, the way TCP
+manufactures a reliable byte stream over a lossy datagram substrate.
+
+:class:`ReliableTransport` is that manufacture for the simulator.
+With ``reliability="enforced"`` on the :class:`~repro.sim.network
+.Network`, every logical send is framed with a per-channel sequence
+number and travels over the faulty substrate (fault plan + latency
+model); the layer then restores each half of the paper's assumption:
+
+* **exactly once** -- the receiver tracks the per-channel cumulative
+  sequence number and a reorder buffer, so duplicate frames (fault
+  duplication or retransmission overlap) are suppressed;
+* **no loss** -- the sender keeps every frame until it is covered by
+  a cumulative ack, retransmitting on a timeout with exponential
+  backoff up to a retry cap (exceeding the cap raises
+  :class:`ReliabilityError` -- in a simulation that always means the
+  timeout/backoff configuration cannot overcome the configured loss
+  rate, not bad luck);
+* **in order** -- frames arriving ahead of the cumulative sequence
+  number are buffered and released only when the gap fills, so
+  per-channel FIFO holds even under ``FaultPlan.reorder_p > 0``;
+* **acks are cheap** -- a data frame travelling ``dst -> src``
+  piggybacks the cumulative ack for the reverse channel; only when no
+  reverse traffic appears within ``ack_delay`` does a standalone
+  :class:`AckFrame` go out (the same piggybacking economics the paper
+  applies to lazy relays).
+
+Everything is scheduled on the simulation's :class:`~repro.sim.events
+.EventQueue` via the no-handle ``push`` fast path: retransmit and ack
+timers are armed once and validate their own relevance when they
+fire, so no cancellation bookkeeping is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.sim.network import Network
+
+#: Reliability modes for the network: ``"assumed"`` is the paper's
+#: model (the substrate itself is reliable exactly-once FIFO; the
+#: existing no-fault fast path, byte-identical to before this layer
+#: existed), ``"enforced"`` manufactures the assumption end-to-end
+#: over whatever the substrate does.
+RELIABILITY_MODES = ("assumed", "enforced")
+
+
+class ReliabilityError(RuntimeError):
+    """A frame exhausted its retransmission budget.
+
+    Under any sane configuration the retry cap is unreachable (the
+    chance of ``max_retries`` consecutive drops at ``drop_p=0.2`` and
+    the default cap is ~1e-9 per frame); hitting it means the
+    timeout, backoff, or cap is misconfigured for the fault plan.
+    """
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tuning knobs for the reliable-delivery layer.
+
+    ``retransmit_timeout``
+        Time the sender waits for an ack before the first
+        retransmission.  Must comfortably exceed one round trip
+        (default transit is 10 units each way plus ``ack_delay``);
+        the default also clears one worst-case reorder delay
+        (``FaultPlan.reorder_delay`` defaults to 50) so reordered
+        frames are resequenced rather than spuriously retransmitted.
+    ``backoff``
+        Multiplier applied to the timeout after each retransmission
+        of the same frame.
+    ``max_retries``
+        Retransmissions allowed per frame before giving up with
+        :class:`ReliabilityError`.
+    ``ack_delay``
+        How long the receiver waits for reverse traffic to piggyback
+        a cumulative ack on before sending a standalone ack frame.
+    """
+
+    retransmit_timeout: float = 80.0
+    backoff: float = 1.5
+    max_retries: int = 20
+    ack_delay: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retransmit_timeout <= 0:
+            raise ValueError(
+                f"retransmit_timeout must be positive, got {self.retransmit_timeout}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.ack_delay < 0:
+            raise ValueError(f"ack_delay must be non-negative, got {self.ack_delay}")
+
+
+class DataFrame:
+    """One sequenced transmission of a logical payload.
+
+    ``kind`` delegates to the wrapped payload so that per-kind fault
+    plans (``FaultPlan.only_kinds``) and message accounting see the
+    logical message, not the framing -- ``by_kind`` counts stay
+    comparable between the assumed and enforced modes.
+    """
+
+    __slots__ = ("seq", "payload", "ack")
+
+    def __init__(self, seq: int, payload: Any, ack: int) -> None:
+        self.seq = seq
+        self.payload = payload
+        # Cumulative ack for the *reverse* channel, piggybacked.
+        self.ack = ack
+
+    @property
+    def kind(self) -> str:
+        from repro.sim.network import message_kind
+
+        return message_kind(self.payload)
+
+    def __repr__(self) -> str:
+        return f"DataFrame(seq={self.seq}, ack={self.ack}, payload={self.payload!r})"
+
+
+class AckFrame:
+    """Standalone cumulative ack, sent when no reverse traffic appears.
+
+    Carries no sequence number of its own: cumulative acks are
+    monotone and idempotent, so loss, duplication, and reordering of
+    ack frames are all harmless (the receiver takes the max).
+    """
+
+    __slots__ = ("ack",)
+
+    kind = "reliable_ack"
+
+    def __init__(self, ack: int) -> None:
+        self.ack = ack
+
+    def __repr__(self) -> str:
+        return f"AckFrame(ack={self.ack})"
+
+
+class _SenderChannel:
+    """Send-side state of one directed channel."""
+
+    __slots__ = ("next_seq", "unacked")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        # seq -> [payload, retries]; insertion order is seq order.
+        self.unacked: dict[int, list] = {}
+
+
+class _ReceiverChannel:
+    """Receive-side state of one directed channel."""
+
+    __slots__ = ("cumulative", "buffer", "ack_pending", "ack_sent")
+
+    def __init__(self) -> None:
+        # Highest seq s such that all frames <= s were delivered.
+        self.cumulative = -1
+        # Out-of-order frames awaiting the gap to fill: seq -> payload.
+        self.buffer: dict[int, Any] = {}
+        # A standalone-ack timer is armed and has not fired/been
+        # satisfied by piggybacking yet.
+        self.ack_pending = False
+        # Last cumulative value actually transmitted (piggybacked or
+        # standalone); a fired timer re-acks only when behind this.
+        self.ack_sent = -1
+
+
+#: Sentinel distinguishing "no buffered frame" from a None payload.
+_MISSING = object()
+
+
+class ReliableTransport:
+    """Per-channel reliable delivery state machine.
+
+    Owned by a :class:`~repro.sim.network.Network` in ``"enforced"``
+    mode; the network remains the only thing that touches the wire
+    (latency sampling, fault verdicts, accounting) through the two
+    callbacks handed in here.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        config: ReliabilityConfig | None = None,
+    ) -> None:
+        self._network = network
+        self._events = network._events
+        self.config = config or ReliabilityConfig()
+        self._senders: dict[tuple[int, int], _SenderChannel] = {}
+        self._receivers: dict[tuple[int, int], _ReceiverChannel] = {}
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Frame and transmit one logical message on channel src->dst."""
+        channel = (src, dst)
+        sender = self._senders.get(channel)
+        if sender is None:
+            sender = self._senders[channel] = _SenderChannel()
+        seq = sender.next_seq
+        sender.next_seq = seq + 1
+        sender.unacked[seq] = [payload, 0]
+        self._transmit_data(src, dst, sender, seq, payload)
+
+    def _transmit_data(
+        self,
+        src: int,
+        dst: int,
+        sender: _SenderChannel,
+        seq: int,
+        payload: Any,
+    ) -> None:
+        frame = DataFrame(seq, payload, self._piggyback_ack(dst, src))
+        self._network._transmit_frame(src, dst, frame)
+        entry = sender.unacked.get(seq)
+        if entry is None:  # acked while transmitting (not possible today)
+            return
+        timeout = self.config.retransmit_timeout * (self.config.backoff ** entry[1])
+        self._events.push(
+            self._events.now + timeout,
+            _RetransmitTimer(self, src, dst, sender, seq),
+        )
+
+    def _retransmit_due(
+        self, src: int, dst: int, sender: _SenderChannel, seq: int
+    ) -> None:
+        """Retransmit timer body: still unacked -> resend with backoff."""
+        unacked = sender.unacked
+        entry = unacked.get(seq)
+        if entry is None:
+            return  # acked in the meantime; timer is a no-op
+        if seq != next(iter(unacked)):
+            # Not the oldest unacked frame.  The cumulative ack cannot
+            # cover this frame until the head recovers, so resending
+            # it now is pure waste (the receiver is either holding it
+            # in the reorder buffer already, or will request nothing
+            # either way -- there is no selective ack).  Check again
+            # one timeout later; the attempt counter is not charged
+            # because nothing was transmitted.
+            self._events.push(
+                self._events.now + self.config.retransmit_timeout,
+                _RetransmitTimer(self, src, dst, sender, seq),
+            )
+            return
+        entry[1] += 1
+        if entry[1] > self.config.max_retries:
+            raise ReliabilityError(
+                f"channel {src}->{dst} seq {seq} exceeded "
+                f"max_retries={self.config.max_retries}; the "
+                "retransmit timeout/backoff cannot overcome the fault plan"
+            )
+        network = self._network
+        if network._count_totals:
+            network.stats.retransmits += 1
+        self._transmit_data(src, dst, sender, seq, entry[0])
+
+    def _piggyback_ack(self, remote_src: int, local_dst: int) -> int:
+        """Cumulative ack to ride on a frame we are about to send.
+
+        Called with the channel *we receive on* (remote -> local);
+        marks the value as transmitted so a pending standalone-ack
+        timer can stand down.
+        """
+        receiver = self._receivers.get((remote_src, local_dst))
+        if receiver is None:
+            return -1
+        if receiver.cumulative > receiver.ack_sent:
+            receiver.ack_sent = receiver.cumulative
+        return receiver.ack_sent
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+    def on_frame(self, src: int, dst: int, frame: Any) -> None:
+        """A physical frame survived the substrate and arrived at dst."""
+        if type(frame) is AckFrame:
+            self._apply_ack(dst, src, frame.ack)
+            return
+        # Data frame: its piggybacked ack covers the reverse channel.
+        if frame.ack >= 0:
+            self._apply_ack(dst, src, frame.ack)
+        channel = (src, dst)
+        receiver = self._receivers.get(channel)
+        if receiver is None:
+            receiver = self._receivers[channel] = _ReceiverChannel()
+        network = self._network
+        seq = frame.seq
+        if seq <= receiver.cumulative or seq in receiver.buffer:
+            # Duplicate (fault duplication or a retransmission racing
+            # its own ack): suppress, and *force* a re-ack -- a
+            # retransmission of something we already hold usually
+            # means our previous ack was lost on the way back, so
+            # "already acked that" must not stand down the ack timer.
+            if network._count_totals:
+                network.stats.dup_suppressed += 1
+            receiver.ack_sent = -1
+            self._schedule_ack(src, dst, receiver)
+            return
+        if seq > receiver.cumulative + 1:
+            # Ahead of the gap: park it.  FIFO is restored when the
+            # missing frames arrive (or are retransmitted).
+            receiver.buffer[seq] = frame.payload
+            if network._count_totals:
+                network.stats.resequenced += 1
+            self._schedule_ack(src, dst, receiver)
+            return
+        # In order: deliver, then drain whatever the gap was hiding.
+        receiver.cumulative = seq
+        network._deliver_logical(dst, frame.payload)
+        buffer = receiver.buffer
+        while buffer:
+            nxt = receiver.cumulative + 1
+            payload = buffer.pop(nxt, _MISSING)
+            if payload is _MISSING:
+                break
+            receiver.cumulative = nxt
+            network._deliver_logical(dst, payload)
+        self._schedule_ack(src, dst, receiver)
+
+    def _apply_ack(self, local: int, remote: int, ack: int) -> None:
+        """Process a cumulative ack ``local`` received from ``remote``.
+
+        The ack covers frames ``local`` previously sent to ``remote``
+        (the reverse of the channel the ack arrived on), so it
+        releases send-side state of channel ``(local, remote)``.
+        """
+        sender = self._senders.get((local, remote))
+        if sender is None:
+            return
+        unacked = sender.unacked
+        if not unacked:
+            return
+        for seq in [s for s in unacked if s <= ack]:
+            del unacked[seq]
+
+    def _schedule_ack(
+        self, remote_src: int, local_dst: int, receiver: _ReceiverChannel
+    ) -> None:
+        """Arm the standalone-ack fallback for channel remote->local."""
+        if receiver.ack_pending:
+            return
+        receiver.ack_pending = True
+        self._events.push(
+            self._events.now + self.config.ack_delay,
+            _AckTimer(self, remote_src, local_dst, receiver),
+        )
+
+    def _ack_due(
+        self, remote_src: int, local_dst: int, receiver: _ReceiverChannel
+    ) -> None:
+        """Standalone-ack timer body: still owed -> send an AckFrame."""
+        receiver.ack_pending = False
+        if receiver.cumulative <= receiver.ack_sent:
+            return  # piggybacked in the meantime; nothing owed
+        receiver.ack_sent = receiver.cumulative
+        network = self._network
+        if network._count_totals:
+            network.stats.acks += 1
+        network._transmit_frame(local_dst, remote_src, AckFrame(receiver.ack_sent))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Frames sent but not yet covered by a cumulative ack."""
+        return sum(len(s.unacked) for s in self._senders.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict state summary for reports and debugging."""
+        return {
+            "channels": len(self._senders),
+            "in_flight": self.in_flight(),
+            "reorder_buffered": sum(
+                len(r.buffer) for r in self._receivers.values()
+            ),
+        }
+
+
+class _RetransmitTimer:
+    """Retransmit-deadline callback without a per-arm closure.
+
+    A plain class with ``__slots__`` beats a lambda capturing five
+    variables on the hot path, and makes the pending-event queue
+    introspectable in a debugger.
+    """
+
+    __slots__ = ("_transport", "_src", "_dst", "_sender", "_seq")
+
+    def __init__(
+        self,
+        transport: ReliableTransport,
+        src: int,
+        dst: int,
+        sender: _SenderChannel,
+        seq: int,
+    ) -> None:
+        self._transport = transport
+        self._src = src
+        self._dst = dst
+        self._sender = sender
+        self._seq = seq
+
+    def __call__(self) -> None:
+        self._transport._retransmit_due(
+            self._src, self._dst, self._sender, self._seq
+        )
+
+
+class _AckTimer:
+    """Standalone-ack fallback callback; see :class:`_RetransmitTimer`."""
+
+    __slots__ = ("_transport", "_remote", "_local", "_receiver")
+
+    def __init__(
+        self,
+        transport: ReliableTransport,
+        remote_src: int,
+        local_dst: int,
+        receiver: _ReceiverChannel,
+    ) -> None:
+        self._transport = transport
+        self._remote = remote_src
+        self._local = local_dst
+        self._receiver = receiver
+
+    def __call__(self) -> None:
+        self._transport._ack_due(self._remote, self._local, self._receiver)

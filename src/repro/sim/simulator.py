@@ -16,6 +16,7 @@ from repro.sim.events import EventQueue
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, Network, UniformLatency
 from repro.sim.processor import Processor, ServiceTimeFn
+from repro.sim.reliable import ReliabilityConfig
 
 
 class QuiescenceError(RuntimeError):
@@ -45,6 +46,14 @@ class Kernel:
         (default) keeps per-kind/per-channel Counters, ``"aggregate"``
         keeps only scalar totals, ``"off"`` drops even those where
         nothing downstream needs them.  Perf runs use aggregate/off.
+    reliability:
+        ``"assumed"`` (default) trusts the substrate to be the paper's
+        reliable exactly-once FIFO network; ``"enforced"`` rebuilds
+        that guarantee end-to-end via the reliable-delivery layer
+        (:mod:`repro.sim.reliable`) -- required for correctness when a
+        ``fault_plan`` drops or reorders messages.
+    reliability_config:
+        Timeout/backoff/ack tuning for ``"enforced"`` mode.
     """
 
     #: Default guard on run length; large enough for every experiment
@@ -59,6 +68,8 @@ class Kernel:
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
         accounting: str = "full",
+        reliability: str = "assumed",
+        reliability_config: ReliabilityConfig | None = None,
     ) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
@@ -71,6 +82,8 @@ class Kernel:
             rng=random.Random(seed + 1),
             fault_plan=fault_plan,
             accounting=accounting,
+            reliability=reliability,
+            reliability_config=reliability_config,
         )
         self.processors: dict[int, Processor] = {
             pid: Processor(

@@ -12,6 +12,7 @@ from repro.stats.metrics import (
     load_balance,
     message_summary,
     occupancy_histogram,
+    reliability_summary,
     replication_profile,
     search_locality,
     space_utilization,
@@ -33,6 +34,7 @@ __all__ = [
     "load_balance",
     "message_summary",
     "occupancy_histogram",
+    "reliability_summary",
     "replication_profile",
     "update_read_ratio",
     "search_locality",

@@ -32,6 +32,32 @@ def message_summary(kernel: "Kernel") -> dict[str, Any]:
     return {"total": stats.sent, "by_kind": dict(stats.by_kind)}
 
 
+def reliability_summary(kernel: "Kernel") -> dict[str, Any]:
+    """Cost and work of the reliable-delivery layer (X5 quantities).
+
+    ``amplification`` is physical frames on the wire per logical
+    message -- 1.0 in ``"assumed"`` mode, > 1.0 under enforcement
+    (retransmissions + standalone acks).  The remaining counters show
+    *why*: what the substrate did (dropped/duplicated) and what the
+    layer absorbed (dup_suppressed/resequenced).
+    """
+    stats = kernel.network.stats
+    transport = kernel.network.transport
+    return {
+        "mode": kernel.network.reliability,
+        "logical_sent": stats.sent,
+        "physical_sent": stats.physical_sent,
+        "amplification": stats.physical_sent / stats.sent if stats.sent else 1.0,
+        "retransmits": stats.retransmits,
+        "acks": stats.acks,
+        "dropped": stats.dropped,
+        "duplicated": stats.duplicated,
+        "dup_suppressed": stats.dup_suppressed,
+        "resequenced": stats.resequenced,
+        "in_flight": transport.in_flight() if transport is not None else 0,
+    }
+
+
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:
     """Messages per half-split, the Figure 5 / C4 quantity.
 

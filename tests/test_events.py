@@ -125,6 +125,42 @@ class TestGuards:
         q.run_until(100.0)
         assert q.now == 100.0
 
+    def test_run_until_skips_cancelled_head(self):
+        # The lazily-cancelled head must be discarded, not counted
+        # against the deadline or executed.
+        q = EventQueue()
+        fired = []
+        head = q.schedule(1.0, lambda: fired.append(1.0))
+        q.schedule(2.0, lambda: fired.append(2.0))
+        q.schedule(5.0, lambda: fired.append(5.0))
+        head.cancel()
+        assert q.run_until(3.0) == 1
+        assert fired == [2.0]
+        assert q.now == 3.0
+        assert q.pending == 1  # the cancelled entry is gone from the heap
+        q.run()
+        assert fired == [2.0, 5.0]
+
+    def test_run_until_callback_push_at_exact_deadline(self):
+        # An event pushed at exactly the deadline, from inside the
+        # run, still belongs to this slice (time <= deadline is
+        # inclusive); one instant later does not.
+        q = EventQueue()
+        fired = []
+
+        def at_two():
+            fired.append("trigger")
+            q.push(3.0, lambda: fired.append("at-deadline"))
+            q.push(3.0000001, lambda: fired.append("past-deadline"))
+
+        q.schedule(2.0, at_two)
+        assert q.run_until(3.0) == 2
+        assert fired == ["trigger", "at-deadline"]
+        assert q.now == 3.0
+        assert q.pending == 1
+        q.run()
+        assert fired == ["trigger", "at-deadline", "past-deadline"]
+
     def test_counters(self):
         q = EventQueue()
         q.schedule(1.0, lambda: None)

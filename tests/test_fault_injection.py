@@ -7,6 +7,8 @@ apply layer absorbs duplicate deliveries (exactly-once is convenient
 but duplication is survivable thanks to action-id de-duplication).
 """
 
+import random
+
 from tests.helpers import run_insert_workload
 from repro import DBTreeCluster, FaultPlan
 
@@ -59,6 +61,59 @@ class TestDuplicates:
         assert report.ok, "\n".join(report.problems[:10])
         assert cluster.trace.counters.get("duplicate_relay_ignored", 0) > 0
         assert cluster.kernel.network.stats.duplicated > 0
+
+
+class TestJudgeIndependence:
+    """Each delivery attempt is judged on its own (the PR's bugfix).
+
+    The old judge tied the verdicts together: a duplicated message
+    could never lose one copy, and only the duplicate copy could be
+    reordered.  Real per-packet faults are independent, and the
+    reliable layer's dedup/resequencing is only honest if the
+    substrate can combine them.
+    """
+
+    def judge_many(self, plan, trials=4000, seed=11):
+        rng = random.Random(seed)
+        return [plan.judge(0, 1, object(), rng) for _ in range(trials)]
+
+    def test_duplicate_copy_can_be_dropped(self):
+        plan = FaultPlan(drop_p=0.5, duplicate_p=1.0)
+        verdicts = self.judge_many(plan)
+        assert all(len(v) == 2 for v in verdicts)
+        # Every drop pattern occurs: neither, either one, both.
+        patterns = {(a[0], b[0]) for a, b in verdicts}
+        assert patterns == {
+            (False, False), (False, True), (True, False), (True, True)
+        }
+
+    def test_both_copies_can_be_reordered(self):
+        plan = FaultPlan(reorder_p=0.5, duplicate_p=1.0, reorder_delay=50.0)
+        verdicts = self.judge_many(plan)
+        delayed_both = sum(
+            1 for a, b in verdicts if a[1] > 0 and b[1] > 0
+        )
+        delayed_first_only = sum(
+            1 for a, b in verdicts if a[1] > 0 and b[1] == 0
+        )
+        # Independence: both-copies-delayed and first-copy-only-delayed
+        # each happen about a quarter of the time.
+        assert delayed_both > 0
+        assert delayed_first_only > 0
+
+    def test_drop_rate_is_per_attempt(self):
+        plan = FaultPlan(drop_p=0.25, duplicate_p=1.0)
+        verdicts = self.judge_many(plan, trials=8000)
+        attempts = [v for pair in verdicts for v in pair]
+        drop_rate = sum(1 for dropped, _ in attempts if dropped) / len(attempts)
+        assert abs(drop_rate - 0.25) < 0.02
+
+    def test_single_attempt_shape_unchanged(self):
+        plan = FaultPlan(drop_p=0.3)
+        for verdict in self.judge_many(plan, trials=200):
+            assert len(verdict) == 1
+            dropped, extra = verdict[0]
+            assert extra == 0.0
 
 
 class TestReordering:

@@ -48,6 +48,39 @@ class TestLeafHintCache:
         )
         assert survivors == 4
 
+    def test_learn_known_low_at_exactly_max_entries(self):
+        # Replace-by-low at capacity must not trip the eviction: the
+        # low is already resident, so nothing is added.
+        cache = LeafHintCache(max_entries=8)
+        for low in range(0, 80, 10):
+            cache.learn(low, low + 10, leaf_id=low)
+        assert len(cache) == 8
+        cache.learn(30, 35, leaf_id=30)  # split shrank the leaf
+        assert len(cache) == 8
+        assert cache.lookup(32) == (30, 30, 35)
+        assert cache.lookup(37) is None
+        for low in range(0, 80, 10):
+            if low != 30:
+                assert cache.lookup(low) == (low, low, low + 10)
+
+    def test_eviction_at_capacity_stays_consistent(self):
+        # The 9th distinct low halves the cache; survivors are the
+        # even-ranked lows, lookups stay consistent, and an evicted
+        # low can be re-learned.
+        cache = LeafHintCache(max_entries=8)
+        for low in range(0, 80, 10):
+            cache.learn(low, low + 10, leaf_id=low)
+        cache.learn(45, 47, leaf_id=99)
+        assert len(cache) == 5
+        assert cache.lookup(46) == (99, 45, 47)
+        for low in (0, 20, 40, 60):  # even ranks survive
+            assert cache.lookup(low) == (low, low, low + 10)
+        for low in (10, 30, 50, 70):  # odd ranks evicted
+            assert cache.lookup(low) is None
+        cache.learn(10, 20, leaf_id=10)
+        assert cache.lookup(15) == (10, 10, 20)
+        assert len(cache) == 6
+
     def test_clear(self):
         cache = LeafHintCache()
         cache.learn(1, 2, leaf_id=3)
