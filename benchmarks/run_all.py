@@ -36,6 +36,8 @@ EXPERIMENTS = [
     ("x2", "bench_x2_fault_tolerance"),
     ("x3", "bench_x3_free_at_empty"),
     ("x4", "bench_x4_trie_edges"),
+    ("x5", "bench_x5_reliable_delivery"),
+    ("x6", "bench_x6_crash_recovery"),
 ]
 
 

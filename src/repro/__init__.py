@@ -46,6 +46,7 @@ from repro.core.replication import (
     SingleCopy,
 )
 from repro.protocols import PROTOCOLS, make_protocol
+from repro.sim.crash import CrashPlan
 from repro.sim.failure import FaultPlan
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.verify.checker import CheckReport, check_all
@@ -69,6 +70,7 @@ __all__ = [
     "SingleCopy",
     "PROTOCOLS",
     "make_protocol",
+    "CrashPlan",
     "FaultPlan",
     "ReliabilityConfig",
     "ReliabilityError",

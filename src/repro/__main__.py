@@ -25,8 +25,24 @@ import argparse
 import sys
 
 
+def _parse_crash_schedule(specs: list[str]) -> tuple:
+    """Parse ``pid:crash_at[:restart_at]`` triples from the CLI."""
+    schedule = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"--crash expects pid:crash_at[:restart_at], got {spec!r}"
+            )
+        pid, crash_at = int(parts[0]), float(parts[1])
+        restart_at = float(parts[2]) if len(parts) == 3 else None
+        schedule.append((pid, crash_at, restart_at))
+    return tuple(schedule)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import DBTreeCluster, FaultPlan
+    from repro import CrashPlan, DBTreeCluster, FaultPlan
+    from repro.stats import availability_summary
     from repro.tools import cluster_summary, dump_tree
 
     fault_plan = None
@@ -36,6 +52,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             duplicate_p=args.duplicate_p,
             reorder_p=args.reorder_p,
         )
+    crash_plan = None
+    if args.crash or args.crash_rate:
+        crash_plan = CrashPlan(
+            schedule=_parse_crash_schedule(args.crash),
+            crash_rate=args.crash_rate,
+            mttr=args.mttr,
+            detection_delay=args.detection_delay,
+        )
     cluster = DBTreeCluster(
         num_processors=args.processors,
         protocol=args.protocol,
@@ -43,13 +67,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_plan=fault_plan,
         reliability=args.reliability,
+        crash_plan=crash_plan,
+        op_timeout=args.op_timeout,
+        replication_factor=args.replication_factor,
     )
     expected = {}
+    spacing = args.op_spacing if crash_plan is not None else 0.0
     for index in range(args.inserts):
         key = index * 37 % 999_983  # prime modulus: keys stay distinct
         expected[key] = index
-        cluster.insert(key, index, client=index % args.processors)
-    cluster.run()
+        if spacing:
+            cluster.schedule(
+                index * spacing, "insert", key, index,
+                client=index % args.processors,
+            )
+        else:
+            cluster.insert(key, index, client=index % args.processors)
+    results = cluster.run()
     report = cluster.check(expected=expected)
     print(cluster_summary(cluster.engine))
     print()
@@ -64,6 +98,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{stats.dropped} dropped, "
             f"{stats.dup_suppressed} dups suppressed, "
             f"{stats.resequenced} resequenced"
+        )
+    if crash_plan is not None:
+        avail = availability_summary(cluster.kernel, cluster.trace)
+        print(
+            f"availability: {avail['crashes']} crashes "
+            f"({avail['restarts']} restarted), "
+            f"{avail['lost_actions']} actions lost, "
+            f"{avail['dead_letters']} dead letters, "
+            f"{avail.get('leaves_rehomed', 0)} leaves re-homed, "
+            f"{avail.get('pc_donations', 0)} PC donations; "
+            f"ops: {len(results.completed)} completed, "
+            f"{len(results.failed)} failed, "
+            f"{len(results.timed_out)} timed out"
         )
     print("audit:", report.summary())
     if not report.ok:
@@ -216,6 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--reorder-p", type=float, default=0.0,
         help="probability a message bypasses per-channel FIFO",
+    )
+    demo.add_argument(
+        "--crash", action="append", default=[], metavar="PID:T0[:T1]",
+        help="schedule a crash-stop: processor PID crashes at T0 and "
+        "restarts at T1 (omit T1 for a permanent crash); repeatable",
+    )
+    demo.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="per-processor stochastic crash rate (crashes per time unit)",
+    )
+    demo.add_argument(
+        "--mttr", type=float, default=200.0,
+        help="mean time to restart for stochastic crashes",
+    )
+    demo.add_argument(
+        "--detection-delay", type=float, default=50.0,
+        help="failure-detector timeout before peers learn of a crash "
+        "(must exceed the message latency)",
+    )
+    demo.add_argument(
+        "--op-timeout", type=float, default=None,
+        help="per-operation timeout with idempotent retry from the root",
+    )
+    demo.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="total leaf copies under crashes (>= 2 maintains mirrors "
+        "that are promoted when the home dies)",
+    )
+    demo.add_argument(
+        "--op-spacing", type=float, default=8.0,
+        help="inter-arrival time between inserts when a crash plan is "
+        "active (so crashes land mid-workload)",
     )
     demo.set_defaults(func=_cmd_demo)
 

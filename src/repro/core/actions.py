@@ -433,5 +433,60 @@ class MigrateNode:
     to_pid: int
 
 
+# ----------------------------------------------------------------------
+# crash-stop failures: detection, recovery, and leaf mirroring
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PeerFailure:
+    """Local failure-detector verdict: ``pid`` is crashed.
+
+    Delivered to every live processor ``detection_delay`` after the
+    crash (if the victim has not restarted by then).  The receiver
+    force-unjoins the dead processor from replicated copy sets it is
+    primary for and re-homes mirrored single-copy leaves the dead
+    processor owned.
+    """
+
+    kind = "peer_failure"
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class RecoveryAnnounce:
+    """A restarted processor announces it is back, amnesiac.
+
+    Receivers respond with what the newcomer needs to rebuild: the
+    current root, snapshots of replicated nodes it is nominally
+    primary for, mirror copies of leaves it should hold, and any
+    unjoin requests that were dead-lettered while it was down.
+    """
+
+    kind = "recovery_announce"
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class MirrorUpdate:
+    """Replicate (or retract) a single-copy leaf's state to a mirror.
+
+    The home processor emits one of these to each of its mirror
+    targets whenever it applies an update to a single-copy leaf; the
+    mirror stores the snapshot passively (it serves no reads) so the
+    leaf can be re-homed if the owner dies.  ``snapshot=None`` is a
+    retraction: the leaf migrated away or retired, so the mirror must
+    forget it rather than resurrect a stale ghost.
+    """
+
+    home_pid: int
+    node_id: int
+    snapshot: NodeSnapshot | None = None
+
+    @property
+    def kind(self) -> str:
+        return "mirror_update" if self.snapshot is not None else "mirror_drop"
+
+
 KEY_ROUTABLE = (InsertAction, DeleteAction, LinkChange, JoinRequest)
 """Action types carrying (level, key) for missing-node recovery."""

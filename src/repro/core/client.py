@@ -30,24 +30,63 @@ from repro.core.actions import MigrateNode
 from repro.core.dbtree import DBTreeEngine
 from repro.core.keys import Key
 from repro.core.replication import ReplicationPolicy
+from repro.sim.crash import CrashPlan
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, UniformLatency
-from repro.sim.reliable import ReliabilityConfig
+from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.sim.simulator import Kernel
 from repro.sim.tracing import OperationRecord, Trace
 
 
 @dataclass
 class RunResults:
-    """Outcome of running the cluster to quiescence."""
+    """Outcome of running the cluster to quiescence.
+
+    Every submitted operation lands in exactly one partition:
+    ``completed`` (produced a return value), ``failed`` (refused
+    because its home processor was down or uninitialised and no
+    timeout was configured to retry it), ``timed_out`` (exhausted its
+    per-operation retry budget), or ``incomplete`` (no verdict --
+    normally empty at quiescence unless the run died early).
+    """
 
     events_executed: int
     elapsed: float
     completed: dict[int, Any] = field(default_factory=dict)
     incomplete: tuple[int, ...] = ()
+    failed: tuple[int, ...] = ()
+    timed_out: tuple[int, ...] = ()
+    #: Channel/frame details when the run was cut short by the
+    #: reliable-delivery layer exhausting a retransmission budget
+    #: (:class:`~repro.sim.reliable.ReliabilityError`); None normally.
+    reliability_error: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff every operation completed and delivery held up."""
+        return (
+            not self.incomplete
+            and not self.failed
+            and not self.timed_out
+            and self.reliability_error is None
+        )
 
     def result_of(self, op_id: int) -> Any:
-        return self.completed[op_id]
+        """The completed result of ``op_id``; raises with the
+        operation's actual disposition otherwise."""
+        try:
+            return self.completed[op_id]
+        except KeyError:
+            pass
+        if op_id in self.failed:
+            state = "failed (home processor down or uninitialised)"
+        elif op_id in self.timed_out:
+            state = "timed out (per-operation retry budget exhausted)"
+        elif op_id in self.incomplete:
+            state = "incomplete (no return value by quiescence)"
+        else:
+            state = "unknown (never submitted in this run)"
+        raise KeyError(f"operation {op_id} has no result: {state}")
 
 
 
@@ -95,6 +134,29 @@ class DBTreeCluster:
     reliability_config:
         Optional :class:`~repro.sim.reliable.ReliabilityConfig`
         tuning retransmission and ack timing for ``"enforced"``.
+    crash_plan:
+        Optional :class:`~repro.sim.crash.CrashPlan` of crash-stop
+        failures (scheduled and/or stochastic).  Activates the whole
+        failure-aware layer; ``None`` (default) leaves the fast path
+        untouched.
+    op_timeout:
+        Per-operation timeout (virtual time units).  A timed-out
+        operation is re-issued from the root up to ``op_retries``
+        times (idempotent: the home de-duplicates return values by op
+        id), then recorded as ``timed_out`` in the run results.
+        ``None`` (default) never times out.
+    op_retries:
+        Re-issues before an operation is declared ``timed_out``.
+    replication_factor:
+        Total desired copies per leaf under crashes: 1 (default)
+        keeps the paper's single-copy leaves (a crash loses the leaf
+        and the audit reports it); >= 2 maintains ``factor - 1``
+        ring-successor mirrors that are promoted when the home dies.
+    recovery_mode:
+        ``"lazy"`` (default) repairs interior replication on demand
+        via the join path; ``"eager"`` re-replicates immediately on
+        failure detection (the available-copies baseline the X6
+        experiment compares against).
     """
 
     def __init__(
@@ -115,6 +177,11 @@ class DBTreeCluster:
         leaf_cache: bool = False,
         reliability: str = "assumed",
         reliability_config: ReliabilityConfig | None = None,
+        crash_plan: CrashPlan | None = None,
+        op_timeout: float | None = None,
+        op_retries: int = 3,
+        replication_factor: int = 1,
+        recovery_mode: str = "lazy",
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -124,6 +191,20 @@ class DBTreeCluster:
             self.protocol = protocol
         if replication is None:
             replication = self.protocol.default_policy(num_processors)
+        if crash_plan is not None:
+            if relay_batch_window is not None:
+                raise ValueError(
+                    "crash_plan is incompatible with relay_batch_window: "
+                    "relays parked in the batcher would survive the crash "
+                    "of the processor that owes them"
+                )
+            if latency_model is None and crash_plan.detection_delay <= latency:
+                raise ValueError(
+                    f"detection_delay ({crash_plan.detection_delay}) must "
+                    f"exceed the message latency ({latency}): the recovery "
+                    "protocol relies on donors having drained the dead "
+                    "window's traffic before a restart is announced"
+                )
         self.kernel = Kernel(
             num_processors=num_processors,
             latency_model=latency_model
@@ -134,6 +215,7 @@ class DBTreeCluster:
             accounting=accounting,
             reliability=reliability,
             reliability_config=reliability_config,
+            crash_plan=crash_plan,
         )
         self.engine = DBTreeEngine(
             kernel=self.kernel,
@@ -143,6 +225,10 @@ class DBTreeCluster:
             trace=Trace(level=trace_level),
             relay_batch_window=relay_batch_window,
             leaf_cache=leaf_cache,
+            op_timeout=op_timeout,
+            op_retries=op_retries,
+            replication_factor=replication_factor,
+            recovery_mode=recovery_mode,
         )
 
     # ------------------------------------------------------------------
@@ -203,19 +289,54 @@ class DBTreeCluster:
     # running
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> RunResults:
-        """Run to quiescence; return completed-op results."""
-        executed = self.kernel.run_to_quiescence(max_events=max_events)
+        """Run to quiescence; partition every op by its outcome.
+
+        A :class:`~repro.sim.reliable.ReliabilityError` (a channel
+        exhausting its retransmission budget under ``"enforced"``
+        reliability) is caught at this boundary and reported in
+        ``RunResults.reliability_error`` -- the results built from
+        whatever completed before the failure -- rather than escaping
+        as a traceback from deep inside the event loop.
+        """
+        reliability_error = None
+        try:
+            executed = self.kernel.run_to_quiescence(max_events=max_events)
+        except ReliabilityError as exc:
+            executed = self.kernel.events.executed
+            op = getattr(exc.payload, "op", None)
+            reliability_error = {
+                "message": str(exc),
+                "src": exc.src,
+                "dst": exc.dst,
+                "seq": exc.seq,
+                "payload_kind": getattr(exc.payload, "kind", None),
+                "op_id": op.op_id if op is not None else None,
+            }
         completed = {
             op.op_id: op.result
             for op in self.trace.operations.values()
             if op.completed_at is not None
         }
-        incomplete = tuple(op.op_id for op in self.trace.incomplete_operations())
+        verdicts = self.engine.op_verdicts
+        failed = tuple(
+            op_id for op_id, verdict in verdicts.items() if verdict == "failed"
+        )
+        timed_out = tuple(
+            op_id for op_id, verdict in verdicts.items() if verdict == "timed_out"
+        )
+        incomplete = tuple(
+            op.op_id
+            for op in self.trace.incomplete_operations()
+            if op.op_id not in verdicts
+        )
         return RunResults(
             events_executed=executed,
             elapsed=self.kernel.now,
             completed=completed,
             incomplete=incomplete,
+            failed=failed,
+            timed_out=timed_out,
+            reliability_error=reliability_error,
         )
 
     # ------------------------------------------------------------------
@@ -280,6 +401,12 @@ class DBTreeCluster:
 
     def message_stats(self) -> dict[str, Any]:
         return self.kernel.network.stats.snapshot()
+
+    def availability_summary(self) -> dict[str, Any]:
+        """Crash/restart/recovery accounting; see repro.stats."""
+        from repro.stats.metrics import availability_summary
+
+        return availability_summary(self.kernel, self.trace)
 
     def cache_stats(self) -> dict[str, Any]:
         """Leaf-location cache accounting; see DBTreeEngine.leaf_cache_stats."""

@@ -23,21 +23,26 @@ coherence discipline changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.actions import (
     CreateCopy,
     DeleteAction,
     InsertAction,
+    JoinRequest,
     LinkChange,
+    MirrorUpdate,
     Mode,
     OpContext,
+    PeerFailure,
+    RecoveryAnnounce,
     ReturnValue,
     ScanStep,
     SearchStep,
     SetRoot,
 )
-from repro.core.keys import POS_INF, Key, KeyRange, key_lt
+from repro.core.keys import NEG_INF, POS_INF, Key, KeyRange, key_lt
 from repro.core.leafcache import LeafHintCache
 from repro.core.node import NodeCopy, NodeSnapshot
 from repro.core.piggyback import BatchedRelays
@@ -92,12 +97,53 @@ class DBTreeEngine:
         trace: Trace | None = None,
         relay_batch_window: float | None = None,
         leaf_cache: bool = False,
+        op_timeout: float | None = None,
+        op_retries: int = 3,
+        replication_factor: int = 1,
+        recovery_mode: str = "lazy",
     ) -> None:
         self.kernel = kernel
         self.protocol = protocol
         self.policy = policy
         self.capacity = capacity
         self.trace = trace or Trace()
+        if op_timeout is not None and op_timeout <= 0:
+            raise ValueError(f"op_timeout must be > 0, got {op_timeout}")
+        if op_retries < 0:
+            raise ValueError(f"op_retries must be >= 0, got {op_retries}")
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if recovery_mode not in ("lazy", "eager"):
+            raise ValueError(
+                f"recovery_mode must be 'lazy' or 'eager', got {recovery_mode!r}"
+            )
+        self.op_timeout = op_timeout
+        self.op_retries = op_retries
+        self.replication_factor = replication_factor
+        self.recovery_mode = recovery_mode
+        # Failure-awareness flags, precomputed so the no-crash fast
+        # path pays exactly one attribute test per guarded site and
+        # never allocates, schedules, or sends anything extra.
+        controller = kernel.crash_controller
+        self._crash_enabled = controller is not None
+        self._mirror_enabled = (
+            self._crash_enabled
+            and replication_factor >= 2
+            and len(kernel.pids) > 1
+        )
+        self._dedup_returns = self._crash_enabled or op_timeout is not None
+        #: op_id -> "failed" | "timed_out" for operations that will
+        #: never produce a return value (home crashed / retries spent).
+        self.op_verdicts: dict[int, str] = {}
+        self._completed_ops: set[int] = set()
+        # op_id -> [retries_left, timer EventHandle]
+        self._pending_ops: dict[int, list] = {}
+        if controller is not None:
+            controller.on_crash(self._on_processor_crash)
+            controller.on_detect(self._on_processor_detect)
+            controller.on_restart(self._on_processor_restart)
         # Per-processor key -> leaf hints (None = feature off).  Stale
         # hints are safe by construction: a misdirected operation
         # recovers via B-link out-of-range forwarding, see
@@ -251,6 +297,19 @@ class DBTreeEngine:
             home_pid=home_pid,
         )
         self.trace.record_op_submitted(op.op_id, kind, key, home_pid, self.now)
+        if self._crash_enabled and (
+            not proc.alive or proc.state["root_id"] is None
+        ):
+            # The client's home processor is down (or restarted and
+            # has not relearned the root yet).  With timeouts on, arm
+            # the timer and let the retry path reissue once the
+            # processor is usable again; without them, fail the
+            # operation now rather than hang or raise mid-simulation.
+            if self.op_timeout is not None:
+                self._arm_op_timer(op)
+            else:
+                self._fail_op(op, "failed")
+            return op.op_id
         caches = self._leaf_caches
         if caches is not None and kind != "scan":
             hint = caches[home_pid].lookup(key)
@@ -264,12 +323,16 @@ class DBTreeEngine:
                     level=0,
                     key=key,
                 )
+                if self.op_timeout is not None:
+                    self._arm_op_timer(op)
                 return op.op_id
             self.trace.counters["leaf_cache_miss"] += 1
         root_id = self.root_id_of(proc)
         self.route_to_node(
             proc, root_id, SearchStep(node_id=root_id, op=op), level=None, key=key
         )
+        if self.op_timeout is not None:
+            self._arm_op_timer(op)
         return op.op_id
 
     def schedule_operation(
@@ -520,13 +583,31 @@ class DBTreeEngine:
         elif isinstance(action, (InsertAction, DeleteAction)):
             self._on_keyed_update(proc, action)
         elif isinstance(action, ReturnValue):
+            op_id = action.op.op_id
+            if self._dedup_returns:
+                if op_id in self._completed_ops:
+                    # An idempotent retry raced the original: the op
+                    # already returned a value; keep the first.
+                    self.trace.bump("duplicate_return_ignored")
+                    return
+                if op_id in self.op_verdicts:
+                    # A late response after the client gave up: the
+                    # verdict (timed_out / failed) already stands, so
+                    # the partitions stay disjoint.
+                    self.trace.bump("late_return_ignored")
+                    return
+                self._completed_ops.add(op_id)
+                if self.op_timeout is not None:
+                    entry = self._pending_ops.pop(op_id, None)
+                    if entry is not None and entry[1] is not None:
+                        entry[1].cancel()
             hint = action.leaf_hint
             if hint is not None and self._leaf_caches is not None:
                 leaf_id, low, high, copy_pids = hint
                 self._leaf_caches[proc.pid].learn(low, high, leaf_id)
                 if copy_pids:
                     self.learn_location(proc, leaf_id, copy_pids)
-            self.trace.record_op_completed(action.op.op_id, action.result, self.now)
+            self.trace.record_op_completed(op_id, action.result, self.now)
             for listener in self.op_completion_listeners:
                 listener(action.op, action.result)
         elif isinstance(action, ScanStep):
@@ -542,6 +623,12 @@ class DBTreeEngine:
         elif isinstance(action, BatchedRelays):
             for inner in action.actions:
                 proc.submit(inner)
+        elif isinstance(action, MirrorUpdate):
+            self._on_mirror_update(proc, action)
+        elif isinstance(action, PeerFailure):
+            self._on_peer_failure(proc, action)
+        elif isinstance(action, RecoveryAnnounce):
+            self._on_recovery_announce(proc, action)
         elif self.protocol.handle(proc, action):
             pass
         else:
@@ -844,6 +931,18 @@ class DBTreeEngine:
             self._leaf_caches[proc.pid].learn(
                 node_range.low, node_range.high, copy.node_id
             )
+        if self._crash_enabled:
+            state = proc.state
+            mirrors = state.get("mirror_store")
+            if mirrors is not None:
+                # Holding the real copy supersedes any passive mirror.
+                mirrors.pop(copy.node_id, None)
+            stash = state.get("recovery_stash")
+            if stash is not None:
+                for pending in stash.pop(copy.node_id, ()):
+                    proc.submit(pending)
+            if self._mirror_enabled and copy.is_leaf:
+                self.mirror_leaf(proc, copy)
         self.protocol.after_copy_installed(proc, copy, reason)
         # A copy can be born overfull (a burst of inserts before the
         # split executes leaves the sibling with more than half of a
@@ -889,6 +988,11 @@ class DBTreeEngine:
         """
         mode = getattr(action, "mode", None)
         if mode is Mode.RELAYED:
+            if self._crash_enabled and self.stash_if_recovering(proc, action):
+                # Restarted amnesiac processor: the copy may be about
+                # to arrive (donation / re-join); park the relay for
+                # replay instead of healing prematurely.
+                return
             self.trace.bump("relay_to_missing_copy")
             # Fault-tolerance hook: a relayed update addressed to a
             # copy we do not hold may mean we *lost* the copy (we are
@@ -980,6 +1084,366 @@ class DBTreeEngine:
         return collected
 
     # ------------------------------------------------------------------
+    # crash-stop failures: hooks, mirrors, recovery (repro.sim.crash)
+    # ------------------------------------------------------------------
+    def _on_processor_crash(self, pid: int) -> None:
+        """Crash-stop: every copy this processor held is gone.
+
+        Volatile engine-side state (store, locator, forwarding
+        addresses, root pointer, protocol scratch, mirrors, caches)
+        dies with the processor; the trace records each lost copy so
+        the audit can tell crash losses from deliberate deletions.
+        """
+        proc = self.kernel.processor(pid)
+        state = proc.state
+        for node_id in state["store"]:
+            self.trace.record_copy_deleted(node_id, pid, self.now, reason="crash")
+        state["store"] = {}
+        state["locator"] = {}
+        state["forward"] = {}
+        state["root_id"] = None
+        state["root_level"] = -1
+        for key in (
+            "joining",
+            "unjoined",
+            "mirror_store",
+            "recovery_stash",
+            "recovering_until",
+            "pending_unjoins",
+        ):
+            state.pop(key, None)
+        if self._leaf_caches is not None:
+            self._leaf_caches[pid] = LeafHintCache()
+        self.trace.bump("processor_crashes")
+
+    def _on_processor_detect(self, pid: int) -> None:
+        """The failure of ``pid`` is announced: each live processor's
+        local failure detector fires.  Modeled as a locally enqueued
+        action (detectors are local observations, not messages)."""
+        controller = self.kernel.crash_controller
+        assert controller is not None
+        for alive_pid in controller.alive_pids():
+            self.kernel.processor(alive_pid).submit(PeerFailure(pid))
+
+    def _on_processor_restart(self, pid: int) -> None:
+        """Come back amnesiac: announce the restart and open the
+        recovery grace window (state itself was wiped at crash time).
+
+        During the window, actions addressed to copies this processor
+        no longer holds are stashed rather than healed -- the copies
+        are usually already in flight from the announce responses.
+        """
+        proc = self.kernel.processor(pid)
+        state = proc.state
+        state["recovery_stash"] = {}
+        deadline = self.now + self.kernel.crash_plan.recovery_grace
+        state["recovering_until"] = deadline
+        controller = self.kernel.crash_controller
+        assert controller is not None
+        for other in controller.alive_pids():
+            if other != pid:
+                self.kernel.route(pid, other, RecoveryAnnounce(pid))
+        self.kernel.events.schedule(
+            deadline, partial(self._end_recovery, pid, deadline)
+        )
+        self.trace.bump("processor_restarts")
+
+    def _end_recovery(self, pid: int, deadline: float) -> None:
+        """Close the grace window: flush the stash, re-join the root."""
+        proc = self.kernel.processor(pid)
+        state = proc.state
+        if not proc.alive or state.get("recovering_until") != deadline:
+            return  # crashed again since this grace window was armed
+        state.pop("recovering_until", None)
+        stash = state.pop("recovery_stash", None)
+        if stash:
+            leftovers = [act for acts in stash.values() for act in acts]
+            self.trace.bump("recovery_stash_unclaimed", len(leftovers))
+            for act in leftovers:
+                if getattr(act, "mode", None) is Mode.RELAYED:
+                    # The copy never arrived; hand the stranded relay
+                    # to the heal path so it re-joins explicitly.
+                    self.protocol.on_relay_to_missing(proc, act)
+        root_id = state["root_id"]
+        if (
+            root_id is not None
+            and root_id not in state["store"]
+            and self.protocol.supports_join
+        ):
+            # The dB-tree policy wants the root everywhere: re-join
+            # its replication via the variable protocol's join path.
+            request = JoinRequest(
+                node_id=root_id,
+                level=state["root_level"],
+                key=NEG_INF,
+                requester_pid=pid,
+            )
+            self.route_to_node(
+                proc, root_id, request, level=state["root_level"], key=NEG_INF
+            )
+            self.trace.bump("recovery_root_joins")
+        controller = self.kernel.crash_controller
+        if controller is not None:
+            controller.note_recovered(pid, self.now)
+
+    def _on_peer_failure(self, proc: Processor, action: PeerFailure) -> None:
+        dead = action.pid
+        controller = self.kernel.crash_controller
+        if controller is None or controller.is_alive(dead):
+            # Raced a restart: the announce path owns recovery now,
+            # and acting on the stale verdict could fork the leaf.
+            self.trace.bump("peer_failure_stale")
+            return
+        joining = proc.state.get("joining")
+        if joining:
+            # Pending join requests may have been dead-lettered at the
+            # dead PC; clear the suppression so healing can re-issue.
+            joining.clear()
+        # Remember the verdict: copy sets chosen later (root growth)
+        # must not include a peer this processor knows is down.
+        proc.state.setdefault("dead_peers", set()).add(dead)
+        self.protocol.on_peer_failure(proc, dead)
+        if self._mirror_enabled:
+            self._rehome_mirrors(proc, dead)
+
+    def _on_recovery_announce(
+        self, proc: Processor, action: RecoveryAnnounce
+    ) -> None:
+        """Answer a restarted peer with what it needs to rebuild."""
+        back = action.pid
+        state = proc.state
+        dead_peers = state.get("dead_peers")
+        if dead_peers is not None:
+            dead_peers.discard(back)
+        joining = state.get("joining")
+        if joining:
+            joining.clear()  # join requests to the dead peer never bounced
+        # 1. The root pointer (its SetRoot may have been dead-lettered).
+        root_id = state["root_id"]
+        if root_id is not None:
+            entry = state["locator"].get(root_id)
+            root_pids = tuple(entry[1]) if entry is not None else ()
+            self.kernel.route(
+                proc.pid,
+                back,
+                SetRoot(
+                    root_id=root_id,
+                    root_level=state["root_level"],
+                    root_pids=root_pids,
+                    version=state["root_level"],
+                ),
+            )
+        # 2. Snapshots of replicated nodes the peer is still declared
+        #    primary for (first donation wins; duplicates are ignored,
+        #    and FIFO queues mean any donor's snapshot covers every
+        #    initial action relayed during the dead window).
+        back_is_my_mirror = (
+            self._mirror_enabled and back in self._mirror_targets(proc.pid)
+        )
+        for copy in self.store(proc).values():
+            if copy.retired:
+                continue
+            if copy.pc_pid == back:
+                snapshot = self.make_snapshot(proc, copy)
+                self.kernel.route(
+                    proc.pid, back, CreateCopy(snapshot, "pc_recovery")
+                )
+                self.trace.bump("pc_donations")
+            elif (
+                back_is_my_mirror
+                and copy.is_leaf
+                and len(copy.copy_versions) == 1
+            ):
+                # 3. Refreshed mirrors of this processor's own leaves
+                #    (the peer's mirror store was wiped by the crash).
+                self.kernel.route(
+                    proc.pid,
+                    back,
+                    MirrorUpdate(proc.pid, copy.node_id, copy.snapshot()),
+                )
+        # 4. The peer's own mirrored leaves go home -- this is the
+        #    restart-before-detection case, where no re-homing ran.
+        mirrors = state.get("mirror_store")
+        if mirrors:
+            for node_id, (home, snap) in list(mirrors.items()):
+                if home == back:
+                    self.kernel.route(proc.pid, back, CreateCopy(snap, "rehome"))
+        self.protocol.on_peer_recovered(proc, back)
+
+    def stash_if_recovering(self, proc: Processor, action: Any) -> bool:
+        """Park an action addressed to a copy a restarted processor has
+        not re-acquired yet.  Stashed actions are replayed when the
+        copy installs and flushed when the grace window closes.
+        Returns True if the action was stashed."""
+        stash = proc.state.get("recovery_stash")
+        if stash is None:
+            return False
+        node_id = getattr(action, "node_id", None)
+        if node_id is None:
+            return False
+        stash.setdefault(node_id, []).append(action)
+        self.trace.bump("recovery_stash_deposits")
+        return True
+
+    # -- leaf mirroring (replication_factor >= 2) ----------------------
+    def _mirror_targets(self, home_pid: int) -> tuple[int, ...]:
+        """Ring successors that passively mirror ``home_pid``'s
+        single-copy leaves (``replication_factor - 1`` of them)."""
+        pids = self.kernel.pids
+        count = len(pids)
+        index = pids.index(home_pid)
+        return tuple(
+            pids[(index + offset) % count]
+            for offset in range(1, min(self.replication_factor, count))
+        )
+
+    def mirror_leaf(self, proc: Processor, copy: NodeCopy) -> None:
+        """Push the current state of a single-copy leaf to its mirrors.
+
+        Emitted in the same handler invocation that applied (and
+        acknowledged) a change, so every acknowledged update exists at
+        the mirror before the owner can crash; queue-lost actions were
+        never applied or acknowledged, so losing them too is
+        consistent.
+        """
+        if not copy.is_leaf or copy.retired or len(copy.copy_versions) != 1:
+            return
+        snapshot = copy.snapshot()
+        for pid in self._mirror_targets(proc.pid):
+            self.kernel.route(
+                proc.pid, pid, MirrorUpdate(proc.pid, copy.node_id, snapshot)
+            )
+
+    def mirror_leaf_drop(self, proc: Processor, node_id: int) -> None:
+        """Retract a leaf's mirrors (it migrated away or retired), so
+        a later crash cannot resurrect a stale ghost of it."""
+        if not self._mirror_enabled:
+            return
+        for pid in self._mirror_targets(proc.pid):
+            self.kernel.route(proc.pid, pid, MirrorUpdate(proc.pid, node_id, None))
+
+    def _on_mirror_update(self, proc: Processor, action: MirrorUpdate) -> None:
+        mirrors = proc.state.setdefault("mirror_store", {})
+        if action.snapshot is None:
+            mirrors.pop(action.node_id, None)
+            return
+        if action.node_id in self.store(proc):
+            return  # the real copy lives here; a mirror would be stale
+        mirrors[action.node_id] = (action.home_pid, action.snapshot)
+
+    def _rehome_mirrors(self, proc: Processor, dead: int) -> None:
+        """Adopt the dead processor's mirrored leaves.
+
+        Every mirror holder drops its entries for the dead owner; the
+        first *alive* ring successor among the owner's mirror targets
+        installs them as real copies (new primary, version bumped so
+        the location change dominates stale hints) and announces the
+        move.  Consulting liveness here stands in for the shared
+        failure-detector verdict; see DESIGN for the near-simultaneous
+        failure caveat.
+        """
+        mirrors = proc.state.get("mirror_store")
+        if not mirrors:
+            return
+        doomed = [
+            (node_id, snap)
+            for node_id, (home, snap) in mirrors.items()
+            if home == dead
+        ]
+        if not doomed:
+            return
+        controller = self.kernel.crash_controller
+        successor = None
+        for pid in self._mirror_targets(dead):
+            if controller is not None and controller.is_alive(pid):
+                successor = pid
+                break
+        for node_id, snap in doomed:
+            del mirrors[node_id]
+            if proc.pid != successor or node_id in self.store(proc):
+                continue
+            copy = NodeCopy.from_snapshot(snap)
+            copy.version += 1
+            copy.pc_pid = proc.pid
+            copy.copy_versions = {proc.pid: copy.version}
+            self._install_direct(proc, copy, snap.birth_set, "rehome")
+            self._announce_rehome(proc, copy)
+            self.trace.bump("leaves_rehomed")
+
+    def _announce_rehome(self, proc: Processor, copy: NodeCopy) -> None:
+        """Tell the re-homed leaf's neighbours and parent where it
+        lives now (ordered location link-changes, as after migration)."""
+        targets = (
+            (copy.left_id, copy.level),
+            (copy.right_id, copy.level),
+            (copy.parent_id, copy.level + 1),
+        )
+        for node_id, level in targets:
+            if node_id is None:
+                continue
+            self.route_link_change(
+                proc,
+                LinkChange(
+                    node_id=node_id,
+                    level=level,
+                    key=copy.range.low,
+                    slot="location",
+                    target_id=copy.node_id,
+                    target_pids=(proc.pid,),
+                    version=copy.version,
+                    action_id=self.trace.new_action_id(),
+                    mode=Mode.INITIAL,
+                ),
+            )
+
+    # -- per-operation timeouts and idempotent retry -------------------
+    def _arm_op_timer(self, op: OpContext) -> None:
+        handle = self.kernel.events.schedule(
+            self.now + self.op_timeout, partial(self._op_timer_fired, op)
+        )
+        entry = self._pending_ops.get(op.op_id)
+        if entry is None:
+            self._pending_ops[op.op_id] = [self.op_retries, handle]
+        else:
+            entry[1] = handle
+
+    def _op_timer_fired(self, op: OpContext) -> None:
+        entry = self._pending_ops.get(op.op_id)
+        if entry is None:
+            return  # completed (or verdicted) before the timer fired
+        if entry[0] <= 0:
+            del self._pending_ops[op.op_id]
+            self._fail_op(op, "timed_out")
+            return
+        entry[0] -= 1
+        proc = self.kernel.processor(op.home_pid)
+        if proc.alive and proc.state["root_id"] is not None:
+            self.trace.bump("op_retries")
+            self._reissue_operation(proc, op)
+        self._arm_op_timer(op)
+
+    def _reissue_operation(self, proc: Processor, op: OpContext) -> None:
+        """Idempotent retry: same op identity, fresh root descent.
+
+        The home-processor dedup (``_completed_ops`` / ``op_verdicts``)
+        keeps exactly one outcome per op id even when the original
+        response was merely slow rather than lost."""
+        root_id = proc.state["root_id"]
+        self.route_to_node(
+            proc,
+            root_id,
+            SearchStep(node_id=root_id, op=op),
+            level=None,
+            key=op.key,
+        )
+
+    def _fail_op(self, op: OpContext, verdict: str) -> None:
+        self.op_verdicts[op.op_id] = verdict
+        self.trace.bump(
+            "ops_timed_out" if verdict == "timed_out" else "ops_failed"
+        )
+
+    # ------------------------------------------------------------------
     # split mechanics (Figure 1)
     # ------------------------------------------------------------------
     def schedule_split(self, proc: Processor, node_id: int) -> None:
@@ -1035,6 +1499,10 @@ class DBTreeEngine:
             # immediately: the shrunk copy now, the sibling below.
             cache = self._leaf_caches[proc.pid]
             cache.learn(copy.range.low, separator, copy.node_id)
+        if self._mirror_enabled and copy.is_leaf:
+            # The left half's range shrank; refresh its mirrors (the
+            # sibling mirrors itself when its copy installs).
+            self.mirror_leaf(proc, copy)
 
         if growing:
             parent_id = self._grow_root(
@@ -1126,8 +1594,18 @@ class DBTreeEngine:
         """Root growth: build a new root over the split old root."""
         new_root_id = self._alloc_node_id()
         level = old_root.level + 1
+        candidate_pids = self.kernel.pids
+        if self._crash_enabled:
+            # Never seat the new root on a peer this processor knows
+            # is down: the CreateCopy would dead-letter and leave the
+            # declared member set permanently wider than the holders.
+            dead = proc.state.get("dead_peers")
+            if dead:
+                candidate_pids = tuple(
+                    pid for pid in candidate_pids if pid not in dead
+                )
         placement = self.policy.place(
-            level, proc.pid, self.kernel.pids, True, self.kernel.rng
+            level, proc.pid, candidate_pids, True, self.kernel.rng
         )
         members = placement.member_pids
 

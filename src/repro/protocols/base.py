@@ -47,6 +47,10 @@ class Protocol:
     #: Whether half-splits maintain left-sibling links (mobile and
     #: variable-copies protocols need them for link-changes).
     maintain_left_links = False
+    #: Whether the protocol supports the variable-copies join path
+    #: (restarting processors re-enter interior replication by
+    #: joining; fixed-copies protocols cannot).
+    supports_join = False
 
     def __init__(self) -> None:
         self.engine: "DBTreeEngine | None" = None
@@ -197,6 +201,8 @@ class Protocol:
             )
         if isinstance(action, InsertAction) and action.payload_pids:
             engine.learn_location(proc, action.payload, action.payload_pids)
+        if engine._mirror_enabled and copy.is_leaf:
+            engine.mirror_leaf(proc, copy)
         return result
 
     def relay_keyed(self, proc: "Processor", copy: NodeCopy, action: Any) -> int:
@@ -375,4 +381,27 @@ class Protocol:
         The variable-copies protocol overrides this to heal lost
         copies by re-joining (fault-tolerant lazy updates, the
         paper's Section 5 agenda).
+        """
+
+    # ------------------------------------------------------------------
+    # crash-stop failure hooks (crash layer only; no-ops by default)
+    # ------------------------------------------------------------------
+    def on_peer_failure(self, proc: "Processor", dead_pid: int) -> None:
+        """Hook: this processor learned that ``dead_pid`` crashed.
+
+        The variable-copies protocol force-unjoins the dead member
+        from every primary copy held here (and, in eager recovery
+        mode, re-replicates onto a live replacement).  Fixed-copies
+        protocols have no membership to update: their copy sets are
+        immutable, so a crashed member simply stops acking and the
+        audit reports the divergence.
+        """
+
+    def on_peer_recovered(self, proc: "Processor", pid: int) -> None:
+        """Hook: ``pid`` restarted and announced itself to us.
+
+        Called after the engine has answered the announcement with
+        the root pointer, primary-copy donations, and mirror echoes.
+        The variable-copies protocol re-sends pending unjoin requests
+        whose primary copy lived on ``pid`` (the crash wiped them).
         """

@@ -89,6 +89,10 @@ class MigrationMixin:
 
         del engine.store(proc)[copy.node_id]
         engine.trace.record_copy_deleted(copy.node_id, proc.pid, engine.now)
+        if copy.is_leaf:
+            # The old home's mirrors are stale; the destination emits
+            # fresh ones when the copy installs.
+            engine.mirror_leaf_drop(proc, copy.node_id)
         if leave_forwarding:
             proc.state["forward"][copy.node_id] = (to_pid, new_version, engine.now)
         engine.learn_location(proc, copy.node_id, (to_pid,), new_version)

@@ -67,6 +67,9 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
 
     name = "variable"
     maintain_left_links = True
+    #: Restarting processors can re-enter interior replication via
+    #: the join path; the engine's recovery layer relies on this.
+    supports_join = True
 
     def __init__(self, free_at_empty: bool = False) -> None:
         super().__init__()
@@ -151,6 +154,7 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         copy.retired = True
         copy.proto["retired_at"] = engine.now
         engine.trace.bump("leaves_retired")
+        engine.mirror_leaf_drop(proc, copy.node_id)
 
         request = AbsorbRequest(
             node_id=copy.left_id,
@@ -222,6 +226,8 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
                 time=engine.now,
             )
             engine.trace.bump("absorbs")
+            if engine._mirror_enabled and copy.is_leaf:
+                engine.mirror_leaf(proc, copy)
             if action.right_id is not None:
                 engine.learn_location(proc, action.right_id, action.right_pids)
                 engine.route_link_change(
@@ -405,6 +411,12 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         # Tombstone: trailing relays from members that have not yet
         # processed the unjoin must not trigger copy-loss healing.
         proc.state.setdefault("unjoined", set()).add(copy.node_id)
+        if engine._crash_enabled:
+            # Remember the outstanding request: if the PC crashes
+            # before registering it, we re-send once the PC recovers
+            # (the crash wiped its queue).  Registered unjoins make
+            # the re-send hit the unknown-member guard, harmlessly.
+            proc.state.setdefault("pending_unjoins", {})[copy.node_id] = copy.pc_pid
         engine.kernel.route(
             proc.pid,
             copy.pc_pid,
@@ -416,13 +428,28 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         engine = self._engine()
         copy = engine.copy_at(proc, action.node_id)
         if copy is None or not copy.is_pc:
+            if (
+                copy is None
+                and engine._crash_enabled
+                and engine.stash_if_recovering(proc, action)
+            ):
+                # The PC lives here but its donated copy has not yet
+                # arrived; park the request until it installs.
+                return
             engine.trace.bump("unjoin_misrouted")
             return
-        if action.leaver_pid not in copy.copy_versions:
+        self._register_unjoin(proc, copy, action.leaver_pid)
+
+    def _register_unjoin(
+        self, proc: "Processor", copy: NodeCopy, leaver_pid: int
+    ) -> None:
+        """Register a member's departure at the primary copy."""
+        engine = self._engine()
+        if leaver_pid not in copy.copy_versions:
             engine.trace.bump("unjoin_unknown_member")
             return
         copy.version += 1
-        del copy.copy_versions[action.leaver_pid]
+        del copy.copy_versions[leaver_pid]
         action_id = engine.trace.new_action_id()
         copy.incorporated_ids.add(action_id)
         engine.trace.record_initial(
@@ -430,7 +457,7 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
             pid=proc.pid,
             action_id=action_id,
             kind="unjoin",
-            params=("unjoin", action.leaver_pid, copy.version),
+            params=("unjoin", leaver_pid, copy.version),
             version=copy.version,
             time=engine.now,
         )
@@ -441,7 +468,7 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
                 RelayedUnjoin(
                     node_id=copy.node_id,
                     action_id=action_id,
-                    leaver_pid=action.leaver_pid,
+                    leaver_pid=leaver_pid,
                     new_version=copy.version,
                 ),
             )
@@ -469,6 +496,72 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
             version=action.new_version,
             time=engine.now,
         )
+
+    # ------------------------------------------------------------------
+    # crash-stop failures: membership repair
+    # ------------------------------------------------------------------
+    def on_peer_failure(self, proc: "Processor", dead_pid: int) -> None:
+        """Force-unjoin the crashed member from local primary copies.
+
+        A crash-stop is a departure the dead processor can never
+        request itself, so the PC registers it on the failure signal
+        -- same version bump as a voluntary unjoin, which orders any
+        later re-join by the restarted processor after the departure.
+        In *eager* recovery mode the PC additionally re-replicates
+        interior nodes onto a live replacement at once (the
+        available-copies baseline); *lazy* mode waits for demand (the
+        next leaf arrival re-joins the path), which is the paper's
+        Section 5 direction and what the X6 experiment measures.
+        """
+        engine = self._engine()
+        eager = engine.recovery_mode == "eager"
+        controller = engine.kernel.crash_controller
+        for copy in list(engine.store(proc).values()):
+            if not copy.is_pc or copy.retired:
+                continue
+            if dead_pid == copy.pc_pid or dead_pid not in copy.copy_versions:
+                continue
+            self._register_unjoin(proc, copy, dead_pid)
+            engine.trace.bump("crash_forced_unjoins")
+            if eager and not copy.is_leaf:
+                replacement = self._pick_replacement(proc, copy, controller)
+                if replacement is not None:
+                    self._register_join(proc, copy, replacement)
+                    engine.trace.bump("eager_rereplications")
+
+    def _pick_replacement(
+        self, proc: "Processor", copy: NodeCopy, controller
+    ) -> int | None:
+        """The lowest live pid not already in the copy set."""
+        for pid in self._engine().kernel.pids:
+            if pid == proc.pid or pid in copy.copy_versions:
+                continue
+            if controller is not None and not controller.is_alive(pid):
+                continue
+            return pid
+        return None
+
+    def on_peer_recovered(self, proc: "Processor", pid: int) -> None:
+        """Re-send unjoin requests the crashed PC lost from its queue.
+
+        Requests the PC already registered before crashing hit the
+        unknown-member guard and are discarded; only the lost ones
+        take effect.
+        """
+        engine = self._engine()
+        pending = proc.state.get("pending_unjoins")
+        if not pending:
+            return
+        for node_id, pc_pid in list(pending.items()):
+            if pc_pid != pid:
+                continue
+            del pending[node_id]
+            engine.kernel.route(
+                proc.pid,
+                pid,
+                UnjoinRequest(node_id=node_id, leaver_pid=proc.pid),
+            )
+            engine.trace.bump("unjoin_resends")
 
     def _notify_neighbours_location(self, proc: "Processor", copy: NodeCopy) -> None:
         """Link-change to the neighbours: the copy set changed."""
@@ -526,7 +619,7 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         unjoined = proc.state.get("unjoined")
         if unjoined is not None:
             unjoined.discard(copy.node_id)
-        if reason not in ("migrate", "join"):
+        if reason not in ("migrate", "join", "rehome"):
             return
         engine = self._engine()
         parent_id = copy.parent_id

@@ -20,13 +20,19 @@ that model:
   (sequence numbers, dedup, cumulative acks, retransmission,
   resequencing) that *manufactures* the paper's network assumption
   over a faulty substrate (``reliability="enforced"``).
+* :mod:`repro.sim.crash` -- optional crash-stop failures
+  (:class:`~repro.sim.crash.CrashPlan`): scheduled or stochastic
+  crash + restart per processor, a timeout-style failure detector,
+  and availability accounting, driving the engine's recovery layer.
 
 Everything is deterministic: ties in the event queue break on a
 monotone sequence number and all randomness flows through seeds.
 """
 
+from repro.sim.crash import CrashController, CrashPlan, CrashRecord
 from repro.sim.events import EventHandle, EventQueue, ScheduledEvent
 from repro.sim.failure import FaultPlan
+from repro.sim.processor import ProcessorDownError
 from repro.sim.network import (
     LatencyModel,
     LogNormalLatency,
@@ -44,6 +50,10 @@ from repro.sim.reliable import (
 from repro.sim.simulator import Kernel, QuiescenceError
 
 __all__ = [
+    "CrashController",
+    "CrashPlan",
+    "CrashRecord",
+    "ProcessorDownError",
     "RELIABILITY_MODES",
     "ReliabilityConfig",
     "ReliabilityError",

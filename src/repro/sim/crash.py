@@ -1,0 +1,321 @@
+"""Crash-stop processor failures and the controller that drives them.
+
+The paper's protocols assume processors never fail.  This module
+breaks that assumption the same way :mod:`repro.sim.failure` broke
+the network assumption: a declarative plan of faults, injected by the
+simulator, with the recovery machinery layered on top and audited at
+quiescence.
+
+A :class:`CrashPlan` names *when* processors crash and restart --
+either an explicit schedule of ``(pid, crash_at, restart_at)``
+entries, a stochastic model (per-processor exponential crash arrivals
+with mean repair time ``mttr``, pre-sampled over a finite ``horizon``
+so the event chain terminates and quiescence stays reachable), or
+both.  The :class:`CrashController` executes the plan against a
+kernel:
+
+* at ``crash_at`` the processor's queue and in-service action are
+  lost (crash-stop: volatile state vanishes, nothing partial
+  survives), the reliable-transport channels touching it are reset,
+  and the network starts discarding -- or bouncing, per
+  ``dead_peer_policy`` -- frames addressed to it;
+* ``detection_delay`` later, *if the processor is still down*, the
+  failure is announced to the registered detection hooks (the engine
+  uses this to force-unjoin the dead processor from replicated copy
+  sets and to re-home mirrored single-copy leaves).  A processor that
+  restarts before the delay elapses is never suspected, mimicking a
+  timeout-based failure detector;
+* at ``restart_at`` the processor comes back empty and the restart
+  hooks run (the engine re-joins it to the tree via the variable
+  protocol's join path).
+
+The controller is engine-agnostic: it only touches simulator-layer
+objects (processor, network, transport) and invokes hooks.  All
+tree-recovery semantics live in :mod:`repro.core.dbtree` and
+:mod:`repro.protocols.variable`.
+
+Availability accounting (downtime per crash, lost actions, detection
+and recovery latencies) is collected here and surfaced through
+:func:`repro.stats.availability_summary`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Kernel
+
+#: What the network does with a frame addressed to a dead processor.
+#: ``"drop"`` silently discards it (a real NIC with no host behind
+#: it); ``"bounce"`` still discards it but counts it separately so
+#: experiments can observe how much traffic a failure black-holed.
+DEAD_PEER_POLICIES = ("drop", "bounce")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When processors crash-stop and restart.
+
+    ``schedule``
+        Explicit ``(pid, crash_at, restart_at)`` triples;
+        ``restart_at`` may be ``None`` for a permanent failure (the
+        audit then *reports* any single-copy leaves that died with it
+        rather than silently passing).
+    ``crash_rate``
+        If > 0, each processor additionally suffers stochastic
+        crashes with exponential inter-arrival times at this rate.
+        Requires ``horizon`` > 0: arrivals are pre-sampled up to the
+        horizon so runs terminate.  Stochastic crashes always
+        restart, after an Exp(``mttr``) repair time.
+    ``detection_delay``
+        How long after a crash the failure is announced to peers.
+        Must exceed the network latency for the recovery protocol's
+        in-flight-message arguments to hold (the controller cannot
+        check this; :class:`repro.core.client.DBTreeCluster` does).
+    ``recovery_grace``
+        How long a restarted processor stays in "recovering" mode,
+        during which relayed updates addressed to copies it has not
+        yet re-acquired are stashed for replay rather than healed.
+    ``dead_peer_policy``
+        See :data:`DEAD_PEER_POLICIES`.
+    """
+
+    schedule: tuple[tuple[int, float, float | None], ...] = ()
+    crash_rate: float = 0.0
+    mttr: float = 200.0
+    horizon: float = 0.0
+    detection_delay: float = 50.0
+    recovery_grace: float = 40.0
+    dead_peer_policy: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.dead_peer_policy not in DEAD_PEER_POLICIES:
+            raise ValueError(
+                f"dead_peer_policy must be one of {DEAD_PEER_POLICIES}, "
+                f"got {self.dead_peer_policy!r}"
+            )
+        if self.crash_rate < 0:
+            raise ValueError(f"crash_rate must be >= 0, got {self.crash_rate}")
+        if self.crash_rate > 0:
+            if self.horizon <= 0:
+                raise ValueError(
+                    "stochastic crashes need a finite horizon > 0 "
+                    "(arrivals are pre-sampled so the run terminates)"
+                )
+            if self.mttr <= 0:
+                raise ValueError(f"mttr must be > 0, got {self.mttr}")
+        if self.detection_delay <= 0:
+            raise ValueError(
+                f"detection_delay must be > 0, got {self.detection_delay}"
+            )
+        if self.recovery_grace < 0:
+            raise ValueError(
+                f"recovery_grace must be >= 0, got {self.recovery_grace}"
+            )
+        intervals: dict[int, list[tuple[float, float]]] = {}
+        for entry in self.schedule:
+            pid, crash_at, restart_at = entry
+            if crash_at < 0:
+                raise ValueError(f"crash_at must be >= 0 in {entry!r}")
+            if restart_at is not None and restart_at <= crash_at:
+                raise ValueError(
+                    f"restart_at must follow crash_at in {entry!r}"
+                )
+            end = restart_at if restart_at is not None else float("inf")
+            intervals.setdefault(pid, []).append((crash_at, end))
+        for pid, spans in intervals.items():
+            spans.sort()
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                if next_start < prev_end:
+                    raise ValueError(
+                        f"overlapping crash intervals for pid {pid}"
+                    )
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can produce any crash at all."""
+        return bool(self.schedule) or self.crash_rate > 0
+
+    def sample_events(
+        self, pids: tuple[int, ...], rng: random.Random
+    ) -> list[tuple[int, float, float | None]]:
+        """The full crash/restart timetable: schedule + sampled arrivals.
+
+        Stochastic arrivals are drawn per processor from an
+        exponential renewal process (crash, repair, crash, ...) and
+        cut off at the horizon; the returned list is sorted by crash
+        time for deterministic installation order.
+        """
+        events: list[tuple[int, float, float | None]] = [
+            entry for entry in self.schedule if entry[0] in pids
+        ]
+        if self.crash_rate > 0:
+            for pid in pids:
+                t = rng.expovariate(self.crash_rate)
+                while t < self.horizon:
+                    repair = rng.expovariate(1.0 / self.mttr)
+                    events.append((pid, t, t + repair))
+                    t = t + repair + rng.expovariate(self.crash_rate)
+        events.sort(key=lambda e: (e[1], e[0]))
+        return events
+
+
+@dataclass
+class CrashRecord:
+    """Availability accounting for one crash of one processor."""
+
+    pid: int
+    crashed_at: float
+    planned_restart: float | None
+    lost_actions: int = 0
+    detected_at: float | None = None
+    restarted_at: float | None = None
+    recovered_at: float | None = None
+    #: sender channels reset by the transport's retry-cap suspicion
+    #: while this crash was in effect.
+    suspected_by: list[int] = field(default_factory=list)
+
+    @property
+    def downtime(self) -> float | None:
+        if self.restarted_at is None:
+            return None
+        return self.restarted_at - self.crashed_at
+
+    @property
+    def recovery_latency(self) -> float | None:
+        """Restart-to-recovered: how long re-joining the tree took."""
+        if self.restarted_at is None or self.recovered_at is None:
+            return None
+        return self.recovered_at - self.restarted_at
+
+
+class CrashController:
+    """Executes a :class:`CrashPlan` against a kernel.
+
+    The controller owns processor aliveness (the network and the
+    reliable transport query :meth:`is_alive`) and the per-crash
+    availability records; the engine registers hooks to layer the
+    recovery protocol on top.
+    """
+
+    def __init__(
+        self, kernel: "Kernel", plan: CrashPlan, rng: random.Random
+    ) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        self.records: list[CrashRecord] = []
+        self._alive: dict[int, bool] = {pid: True for pid in kernel.pids}
+        self._open: dict[int, CrashRecord] = {}
+        self._crash_hooks: list[Callable[[int], None]] = []
+        self._detect_hooks: list[Callable[[int], None]] = []
+        self._restart_hooks: list[Callable[[int], None]] = []
+        self._timetable = plan.sample_events(kernel.pids, rng)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Schedule every planned crash/restart on the event queue."""
+        events = self.kernel.events
+        for pid, crash_at, restart_at in self._timetable:
+            events.schedule(crash_at, partial(self._crash, pid))
+            if restart_at is not None:
+                events.schedule(restart_at, partial(self._restart, pid))
+
+    def on_crash(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(pid)`` at the instant ``pid`` crashes (after its
+        simulator-level state is wiped)."""
+        self._crash_hooks.append(hook)
+
+    def on_detect(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(pid)`` when the failure of ``pid`` is announced
+        (``detection_delay`` after the crash, if still down)."""
+        self._detect_hooks.append(hook)
+
+    def on_restart(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(pid)`` at the instant ``pid`` restarts."""
+        self._restart_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_alive(self, pid: int) -> bool:
+        return self._alive[pid]
+
+    def alive_pids(self) -> list[int]:
+        return [pid for pid, up in self._alive.items() if up]
+
+    def crash_count(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def _crash(self, pid: int) -> None:
+        if not self._alive[pid]:
+            return  # already down (overlapping stochastic arrival)
+        kernel = self.kernel
+        proc = kernel.processor(pid)
+        lost = proc.crash()
+        self._alive[pid] = False
+        record = CrashRecord(
+            pid=pid,
+            crashed_at=kernel.events.now,
+            planned_restart=None,
+            lost_actions=lost,
+        )
+        self.records.append(record)
+        self._open[pid] = record
+        kernel.events.schedule(
+            kernel.events.now + self.plan.detection_delay,
+            partial(self._detect, pid, record),
+        )
+        for hook in self._crash_hooks:
+            hook(pid)
+
+    def _detect(self, pid: int, record: CrashRecord) -> None:
+        if record.restarted_at is not None:
+            return  # restarted before suspicion matured: never announced
+        record.detected_at = self.kernel.events.now
+        for hook in self._detect_hooks:
+            hook(pid)
+
+    def _restart(self, pid: int) -> None:
+        if self._alive[pid]:
+            return  # never crashed (redundant stochastic restart)
+        kernel = self.kernel
+        kernel.processor(pid).restart()
+        self._alive[pid] = True
+        # Reset transport channels at restart, not at crash: frames
+        # already in flight *from* the dead processor may still drain
+        # into the peers' old receiver state during the dead window,
+        # while the fresh incarnation starts every channel at seq 0.
+        transport = kernel.network.transport
+        if transport is not None:
+            transport.forget_peer(pid)
+        record = self._open.pop(pid, None)
+        if record is not None:
+            record.restarted_at = kernel.events.now
+        for hook in self._restart_hooks:
+            hook(pid)
+
+    # ------------------------------------------------------------------
+    # notes from the layers above
+    # ------------------------------------------------------------------
+    def note_suspected(self, by_pid: int, dead_pid: int) -> None:
+        """The reliable transport gave up on ``dead_pid`` (retry cap)."""
+        record = self._open.get(dead_pid)
+        if record is not None:
+            record.suspected_by.append(by_pid)
+
+    def note_recovered(self, pid: int, time: float) -> None:
+        """The engine finished re-joining ``pid`` (grace window ended)."""
+        for record in reversed(self.records):
+            if record.pid == pid and record.restarted_at is not None:
+                if record.recovered_at is None:
+                    record.recovered_at = time
+                return

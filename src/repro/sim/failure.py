@@ -1,10 +1,20 @@
-"""Fault injection for the reliability-assumption ablation.
+"""Fault injection: per-message drop / duplicate / reorder verdicts.
 
 The lazy-update protocols are proved correct under a reliable,
 exactly-once, FIFO network (paper, Section 4).  :class:`FaultPlan`
-lets the A2 ablation experiment selectively break each of those
-guarantees and observe which correctness checks fail, demonstrating
-that the assumption is load-bearing rather than cosmetic.
+selectively breaks each of those guarantees.  Two consumers exist:
+
+* the A2 ablation runs a fault plan under ``reliability="assumed"``
+  and observes which correctness checks fail, demonstrating the
+  assumption is load-bearing rather than cosmetic;
+* the reliable-delivery experiments (X5) run the same plans under
+  ``reliability="enforced"``, where the transport layer rebuilds the
+  guarantee end-to-end over the faulty substrate.
+
+How a verdict interacts with FIFO ordering depends on that mode --
+see the ``reorder_p`` note below.  Fault plans model a *lossy
+medium*, not failed endpoints; crash-stop processor failures are
+:mod:`repro.sim.crash`'s job.
 
 Fault plans are *off* by default everywhere else in the library.
 """
@@ -25,9 +35,15 @@ class FaultPlan:
     ``duplicate_p``
         Probability a message is delivered twice.
     ``reorder_p``
-        Probability a message bypasses the per-channel FIFO clamp and
-        is delayed by an extra uniform(0, ``reorder_delay``) units --
-        allowing later messages on the same channel to overtake it.
+        Probability a message is delayed by an extra
+        uniform(0, ``reorder_delay``) units so that later messages on
+        the same channel can overtake it.  Under
+        ``reliability="assumed"`` only these reorder verdicts escape
+        the network's per-channel FIFO clamp (every other faulted
+        message is still delivered in order); under ``"enforced"``
+        the substrate applies no clamp at all -- every frame races
+        freely and the extra delay simply widens the race window that
+        the transport's resequencing then closes.
     ``only_kinds``
         If non-empty, faults apply only to messages whose accounting
         kind is in this set (e.g. target only relayed inserts).

@@ -148,6 +148,9 @@ class NetworkStats:
     acks: int = 0
     dup_suppressed: int = 0
     resequenced: int = 0
+    #: messages/frames that arrived at a crashed processor and were
+    #: discarded (or bounced) by the dead-peer policy.
+    dead_letters: int = 0
     by_kind: Counter = field(default_factory=Counter)
     by_channel: Counter = field(default_factory=Counter)
 
@@ -171,6 +174,7 @@ class NetworkStats:
             "acks": self.acks,
             "dup_suppressed": self.dup_suppressed,
             "resequenced": self.resequenced,
+            "dead_letters": self.dead_letters,
             "physical_sent": self.physical_sent,
             "by_kind": dict(self.by_kind),
             "by_channel": dict(self.by_channel),
@@ -239,11 +243,35 @@ class Network:
         )
         # Last *scheduled* delivery time per channel; FIFO enforcement.
         self._channel_clock: dict[tuple[int, int], float] = {}
+        # Crash-stop support: a liveness oracle (installed only when a
+        # crash plan is active, so the default path never pays for it)
+        # plus the dead-peer policy and optional bounce callback.
+        self._liveness: Callable[[int], bool] | None = None
+        self._dead_policy = "drop"
+        self._bounce: Callable[[int, int, Any], None] | None = None
         self.stats = NetworkStats()
 
     def install_delivery(self, deliver: Callable[[int, Any], None]) -> None:
         """Install the callback invoked on message arrival."""
         self._deliver = deliver
+
+    def install_liveness(
+        self,
+        liveness: Callable[[int], bool],
+        dead_peer_policy: str = "drop",
+        bounce: Callable[[int, int, Any], None] | None = None,
+    ) -> None:
+        """Teach the network which destinations are alive.
+
+        Arrivals at a dead processor become dead letters: discarded
+        under the ``"drop"`` policy, or handed to ``bounce(src, dst,
+        payload)`` under ``"bounce"`` (logical messages only; physical
+        frames are always discarded -- retransmission and suspicion
+        are the reliable layer's problem).
+        """
+        self._liveness = liveness
+        self._dead_policy = dead_peer_policy
+        self._bounce = bounce
 
     def reset_stats(self) -> None:
         """Zero the accounting counters (e.g. after a warm-up phase)."""
@@ -293,7 +321,10 @@ class Network:
             if floor is not None and floor > arrival:
                 arrival = floor
             clock[channel] = arrival
-            events.push(arrival, partial(self._fire, dst, payload))
+            if self._liveness is None:
+                events.push(arrival, partial(self._fire, dst, payload))
+            else:
+                events.push(arrival, partial(self._fire_checked, src, dst, payload))
             return
 
         verdicts = self._fault_plan.judge(src, dst, payload, self._rng)
@@ -318,7 +349,7 @@ class Network:
                 if floor is not None and floor > arrival:
                     arrival = floor
                 self._channel_clock[channel] = arrival
-            self._schedule_delivery(arrival, dst, payload)
+            self._schedule_delivery(arrival, src, dst, payload)
         if count_totals and len(verdicts) > 1:
             self.stats.duplicated += len(verdicts) - 1
 
@@ -327,8 +358,27 @@ class Network:
             self.stats.delivered += 1
         self._deliver(dst, payload)  # type: ignore[misc]
 
-    def _schedule_delivery(self, arrival: float, dst: int, payload: Any) -> None:
-        self._events.push(arrival, partial(self._fire, dst, payload))
+    def _fire_checked(self, src: int, dst: int, payload: Any) -> None:
+        """Liveness-aware delivery, used only when crashes are possible."""
+        if not self._liveness(dst):  # type: ignore[misc]
+            if self._count_totals:
+                self.stats.dead_letters += 1
+            if self._dead_policy == "bounce" and self._bounce is not None:
+                self._bounce(src, dst, payload)
+            return
+        if self._count_totals:
+            self.stats.delivered += 1
+        self._deliver(dst, payload)  # type: ignore[misc]
+
+    def _schedule_delivery(
+        self, arrival: float, src: int, dst: int, payload: Any
+    ) -> None:
+        if self._liveness is None:
+            self._events.push(arrival, partial(self._fire, dst, payload))
+        else:
+            self._events.push(
+                arrival, partial(self._fire_checked, src, dst, payload)
+            )
 
     # ------------------------------------------------------------------
     # enforced-reliability plumbing (ReliableTransport calls back in)
@@ -367,6 +417,13 @@ class Network:
             self.stats.duplicated += len(verdicts) - 1
 
     def _frame_arrival(self, src: int, dst: int, frame: Any) -> None:
+        if self._liveness is not None and not self._liveness(dst):
+            # Crash-stop: a frame addressed to a dead processor is
+            # lost on the floor; the sender's retransmission timer
+            # (and eventually its retry-cap suspicion) deals with it.
+            if self._count_totals:
+                self.stats.dead_letters += 1
+            return
         self.transport.on_frame(src, dst, frame)  # type: ignore[union-attr]
 
     def _deliver_logical(self, dst: int, payload: Any) -> None:

@@ -28,6 +28,41 @@ ActionHandler = Callable[["Processor", Any], None]
 ServiceTimeFn = Callable[[Any], float]
 
 
+class ProcessorDownError(RuntimeError):
+    """An action was submitted to a crashed processor."""
+
+    def __init__(self, pid: int, action: Any) -> None:
+        super().__init__(
+            f"processor {pid} is down; cannot accept {message_kind(action)!r}"
+        )
+        self.pid = pid
+        self.action = action
+
+
+class _ServiceCompletion:
+    """Service-completion event for a crashable processor.
+
+    Captures the processor's service token at scheduling time; if the
+    processor crashed (and possibly restarted) in between, the token
+    no longer matches and the completion is a stale no-op -- the
+    in-service action died with the crash.  Only the ``crashable=True``
+    path allocates these; the default path keeps pushing the bound
+    method, so no-crash runs are event-for-event identical.
+    """
+
+    __slots__ = ("proc", "token")
+
+    def __init__(self, proc: "Processor", token: int) -> None:
+        self.proc = proc
+        self.token = token
+
+    def __call__(self) -> None:
+        proc = self.proc
+        if self.token != proc._service_token:
+            return
+        proc._complete_in_service()
+
+
 @dataclass
 class ProcessorStats:
     """Utilization accounting for one processor."""
@@ -63,9 +98,15 @@ class Processor:
         events: EventQueue,
         service_time: float | ServiceTimeFn = 1.0,
         accounting: str = "full",
+        crashable: bool = False,
     ) -> None:
         self.pid = pid
         self._events = events
+        # Crash-stop support is opt-in: only a kernel built with a
+        # crash plan pays for the token-checked completion events.
+        self._crashable = crashable
+        self._alive = True
+        self._service_token = 0
         self._const_service: float | None
         if callable(service_time):
             self._service_time: ServiceTimeFn = service_time
@@ -101,6 +142,11 @@ class Processor:
         """Whether an action is currently in service."""
         return self._busy
 
+    @property
+    def alive(self) -> bool:
+        """Whether the processor is up (always True unless crashable)."""
+        return self._alive
+
     def install_handler(self, handler: ActionHandler) -> None:
         """Install the engine callback that executes actions."""
         self._handler = handler
@@ -113,6 +159,8 @@ class Processor:
         """
         if self._handler is None:
             raise RuntimeError(f"processor {self.pid} has no handler installed")
+        if not self._alive:
+            raise ProcessorDownError(self.pid, action)
         queue = self._queue
         queue.append((action, self._events.now))
         if self._track_detail and len(queue) > self.stats.max_queue_len:
@@ -135,7 +183,13 @@ class Processor:
         # No per-action closure: the single-server discipline means at
         # most one action is in service, so it rides an instance slot.
         self._in_service = action
-        events.push(events.now + service, self._complete_in_service)
+        if self._crashable:
+            events.push(
+                events.now + service,
+                _ServiceCompletion(self, self._service_token),
+            )
+        else:
+            events.push(events.now + service, self._complete_in_service)
 
     def _complete_in_service(self) -> None:
         action = self._in_service
@@ -149,3 +203,38 @@ class Processor:
             self._busy = False
             if self._queue:
                 self._start_next()
+
+    # ------------------------------------------------------------------
+    # crash-stop semantics
+    # ------------------------------------------------------------------
+    def crash(self) -> int:
+        """Crash-stop: lose the queue and the in-service action.
+
+        Returns the number of actions lost (queued + in service).
+        Bumping the service token turns any already-scheduled
+        completion event into a stale no-op, so nothing partial
+        survives the crash.
+        """
+        if not self._crashable:
+            raise RuntimeError(
+                f"processor {self.pid} was not built crashable"
+            )
+        if not self._alive:
+            raise RuntimeError(f"processor {self.pid} is already down")
+        lost = len(self._queue) + (1 if self._busy else 0)
+        self._queue.clear()
+        self._busy = False
+        self._in_service = None
+        self._service_token += 1
+        self._alive = False
+        return lost
+
+    def restart(self) -> None:
+        """Come back up with an empty queue and no in-service action.
+
+        The engine's recovery hooks rebuild durable-side state; the
+        processor itself restarts amnesiac, per crash-stop semantics.
+        """
+        if self._alive:
+            raise RuntimeError(f"processor {self.pid} is already up")
+        self._alive = True

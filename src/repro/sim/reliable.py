@@ -21,7 +21,10 @@ model); the layer then restores each half of the paper's assumption:
   backoff up to a retry cap (exceeding the cap raises
   :class:`ReliabilityError` -- in a simulation that always means the
   timeout/backoff configuration cannot overcome the configured loss
-  rate, not bad luck);
+  rate, not bad luck).  With a crash plan active, a *dead* peer is
+  instead suspected after ``suspect_retries`` retransmissions: the
+  channel is reset and a PeerDown signal fires, because no amount of
+  retransmission revives a crash-stopped processor;
 * **in order** -- frames arriving ahead of the cumulative sequence
   number are buffered and released only when the gap fills, so
   per-channel FIFO holds even under ``FaultPlan.reorder_p > 0``;
@@ -60,7 +63,28 @@ class ReliabilityError(RuntimeError):
     chance of ``max_retries`` consecutive drops at ``drop_p=0.2`` and
     the default cap is ~1e-9 per frame); hitting it means the
     timeout, backoff, or cap is misconfigured for the fault plan.
+    (A *dead* peer never raises: with a crash plan active the sender
+    suspects the peer and resets the channel instead; see
+    ``ReliableTransport.install_peer_down``.)
+
+    Carries the failing channel and frame so the client layer can
+    report which traffic was affected instead of dying mid-event.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        src: int | None = None,
+        dst: int | None = None,
+        seq: int | None = None,
+        payload: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload = payload
 
 
 @dataclass(frozen=True)
@@ -83,12 +107,21 @@ class ReliabilityConfig:
     ``ack_delay``
         How long the receiver waits for reverse traffic to piggyback
         a cumulative ack on before sending a standalone ack frame.
+    ``suspect_retries``
+        With a crash plan active: retransmissions tolerated before a
+        *dead* destination is suspected and the channel is reset with
+        a peer-down signal.  Irrelevant without crashes (an alive
+        peer is never suspected; the sender retransmits up to
+        ``max_retries`` as before).  Kept small so a crashed peer is
+        given up on within a few timeouts rather than after the full
+        backoff ladder.
     """
 
     retransmit_timeout: float = 80.0
     backoff: float = 1.5
     max_retries: int = 20
     ack_delay: float = 5.0
+    suspect_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.retransmit_timeout <= 0:
@@ -101,6 +134,10 @@ class ReliabilityConfig:
             raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
         if self.ack_delay < 0:
             raise ValueError(f"ack_delay must be non-negative, got {self.ack_delay}")
+        if self.suspect_retries < 1:
+            raise ValueError(
+                f"suspect_retries must be >= 1, got {self.suspect_retries}"
+            )
 
 
 class DataFrame:
@@ -110,15 +147,31 @@ class DataFrame:
     plans (``FaultPlan.only_kinds``) and message accounting see the
     logical message, not the framing -- ``by_kind`` counts stay
     comparable between the assumed and enforced modes.
+
+    ``epoch`` is the channel's incarnation tag (see
+    :meth:`ReliableTransport._current_epoch`): a crash-restart of
+    either endpoint changes it, so stragglers from a previous
+    incarnation cannot be confused with the fresh stream that also
+    starts at seq 0.  ``ack_epoch`` tags the piggybacked ack with the
+    *reverse* channel's incarnation for the same reason.
     """
 
-    __slots__ = ("seq", "payload", "ack")
+    __slots__ = ("seq", "payload", "ack", "epoch", "ack_epoch")
 
-    def __init__(self, seq: int, payload: Any, ack: int) -> None:
+    def __init__(
+        self,
+        seq: int,
+        payload: Any,
+        ack: int,
+        epoch: tuple[int, int] = (0, 0),
+        ack_epoch: tuple[int, int] = (0, 0),
+    ) -> None:
         self.seq = seq
         self.payload = payload
         # Cumulative ack for the *reverse* channel, piggybacked.
         self.ack = ack
+        self.epoch = epoch
+        self.ack_epoch = ack_epoch
 
     @property
     def kind(self) -> str:
@@ -136,36 +189,39 @@ class AckFrame:
     Carries no sequence number of its own: cumulative acks are
     monotone and idempotent, so loss, duplication, and reordering of
     ack frames are all harmless (the receiver takes the max).
+    ``epoch`` tags the incarnation of the data channel being acked.
     """
 
-    __slots__ = ("ack",)
+    __slots__ = ("ack", "epoch")
 
     kind = "reliable_ack"
 
-    def __init__(self, ack: int) -> None:
+    def __init__(self, ack: int, epoch: tuple[int, int] = (0, 0)) -> None:
         self.ack = ack
+        self.epoch = epoch
 
     def __repr__(self) -> str:
         return f"AckFrame(ack={self.ack})"
 
 
 class _SenderChannel:
-    """Send-side state of one directed channel."""
+    """Send-side state of one directed channel (one incarnation)."""
 
-    __slots__ = ("next_seq", "unacked")
+    __slots__ = ("next_seq", "unacked", "epoch")
 
-    def __init__(self) -> None:
+    def __init__(self, epoch: tuple[int, int] = (0, 0)) -> None:
         self.next_seq = 0
         # seq -> [payload, retries]; insertion order is seq order.
         self.unacked: dict[int, list] = {}
+        self.epoch = epoch
 
 
 class _ReceiverChannel:
-    """Receive-side state of one directed channel."""
+    """Receive-side state of one directed channel (one incarnation)."""
 
-    __slots__ = ("cumulative", "buffer", "ack_pending", "ack_sent")
+    __slots__ = ("cumulative", "buffer", "ack_pending", "ack_sent", "epoch")
 
-    def __init__(self) -> None:
+    def __init__(self, epoch: tuple[int, int] = (0, 0)) -> None:
         # Highest seq s such that all frames <= s were delivered.
         self.cumulative = -1
         # Out-of-order frames awaiting the gap to fill: seq -> payload.
@@ -176,6 +232,7 @@ class _ReceiverChannel:
         # Last cumulative value actually transmitted (piggybacked or
         # standalone); a fired timer re-acks only when behind this.
         self.ack_sent = -1
+        self.epoch = epoch
 
 
 #: Sentinel distinguishing "no buffered frame" from a None payload.
@@ -201,6 +258,26 @@ class ReliableTransport:
         self.config = config or ReliabilityConfig()
         self._senders: dict[tuple[int, int], _SenderChannel] = {}
         self._receivers: dict[tuple[int, int], _ReceiverChannel] = {}
+        # Crash-restart incarnation per processor; a channel's epoch
+        # is the incarnation pair of its endpoints at creation time.
+        self._incarnation: dict[int, int] = {}
+        # Called as handler(src, dst, lost_payloads) when a sender
+        # gives up on a dead peer (PeerDown signal).
+        self._peer_down: Any = None
+
+    def install_peer_down(self, handler: Any) -> None:
+        """Install the PeerDown signal: ``handler(src, dst, lost)``.
+
+        Invoked when retransmissions to a *dead* destination hit the
+        suspect cap; the channel is reset and the still-unacked
+        payloads are reported as lost instead of raising
+        :class:`ReliabilityError` mid-event.
+        """
+        self._peer_down = handler
+
+    def _current_epoch(self, src: int, dst: int) -> tuple[int, int]:
+        inc = self._incarnation
+        return (inc.get(src, 0), inc.get(dst, 0))
 
     # ------------------------------------------------------------------
     # send side
@@ -210,7 +287,9 @@ class ReliableTransport:
         channel = (src, dst)
         sender = self._senders.get(channel)
         if sender is None:
-            sender = self._senders[channel] = _SenderChannel()
+            sender = self._senders[channel] = _SenderChannel(
+                self._current_epoch(src, dst)
+            )
         seq = sender.next_seq
         sender.next_seq = seq + 1
         sender.unacked[seq] = [payload, 0]
@@ -224,7 +303,8 @@ class ReliableTransport:
         seq: int,
         payload: Any,
     ) -> None:
-        frame = DataFrame(seq, payload, self._piggyback_ack(dst, src))
+        ack, ack_epoch = self._piggyback_ack(dst, src)
+        frame = DataFrame(seq, payload, ack, sender.epoch, ack_epoch)
         self._network._transmit_frame(src, dst, frame)
         entry = sender.unacked.get(seq)
         if entry is None:  # acked while transmitting (not possible today)
@@ -239,6 +319,8 @@ class ReliableTransport:
         self, src: int, dst: int, sender: _SenderChannel, seq: int
     ) -> None:
         """Retransmit timer body: still unacked -> resend with backoff."""
+        if self._senders.get((src, dst)) is not sender:
+            return  # channel was reset (peer crash/suspicion); stale timer
         unacked = sender.unacked
         entry = unacked.get(seq)
         if entry is None:
@@ -257,30 +339,77 @@ class ReliableTransport:
             )
             return
         entry[1] += 1
+        network = self._network
+        liveness = network._liveness
+        if (
+            liveness is not None
+            and not liveness(dst)
+            and entry[1] > self.config.suspect_retries
+        ):
+            # The peer is crash-stopped: give up on the whole channel
+            # (a fresh incarnation starts at seq 0 after the restart)
+            # and surface a PeerDown signal instead of spinning up
+            # the backoff ladder or dying with ReliabilityError.
+            self._suspect(src, dst)
+            return
         if entry[1] > self.config.max_retries:
             raise ReliabilityError(
                 f"channel {src}->{dst} seq {seq} exceeded "
                 f"max_retries={self.config.max_retries}; the "
-                "retransmit timeout/backoff cannot overcome the fault plan"
+                "retransmit timeout/backoff cannot overcome the fault plan",
+                src=src,
+                dst=dst,
+                seq=seq,
+                payload=entry[0],
             )
-        network = self._network
         if network._count_totals:
             network.stats.retransmits += 1
         self._transmit_data(src, dst, sender, seq, entry[0])
 
-    def _piggyback_ack(self, remote_src: int, local_dst: int) -> int:
+    def _suspect(self, src: int, dst: int) -> None:
+        """Reset channel src->dst after giving up on a dead peer."""
+        sender = self._senders.pop((src, dst), None)
+        lost: list[Any] = []
+        if sender is not None:
+            lost = [entry[0] for entry in sender.unacked.values()]
+            sender.unacked.clear()
+        if self._peer_down is not None:
+            self._peer_down(src, dst, lost)
+
+    def forget_peer(self, pid: int) -> None:
+        """Reset every channel touching ``pid``: crash-stop amnesia.
+
+        Called when ``pid`` *restarts*: its own send/receive state
+        died with the crash, and the surviving peers' state about it
+        describes streams the fresh incarnation knows nothing about.
+        Bumping the incarnation retags all future channels so
+        straggler frames (or retransmissions) from the previous
+        incarnation are discarded by the epoch check rather than
+        colliding with new streams that also start at seq 0.
+        """
+        self._incarnation[pid] = self._incarnation.get(pid, 0) + 1
+        for channel in [c for c in self._senders if pid in c]:
+            self._senders[channel].unacked.clear()
+            del self._senders[channel]
+        for channel in [c for c in self._receivers if pid in c]:
+            del self._receivers[channel]
+
+    def _piggyback_ack(
+        self, remote_src: int, local_dst: int
+    ) -> tuple[int, tuple[int, int]]:
         """Cumulative ack to ride on a frame we are about to send.
 
         Called with the channel *we receive on* (remote -> local);
         marks the value as transmitted so a pending standalone-ack
-        timer can stand down.
+        timer can stand down.  Returns the ack and the incarnation
+        epoch of the acked channel.
         """
         receiver = self._receivers.get((remote_src, local_dst))
         if receiver is None:
-            return -1
+            return -1, (0, 0)
         if receiver.cumulative > receiver.ack_sent:
             receiver.ack_sent = receiver.cumulative
-        return receiver.ack_sent
+        return receiver.ack_sent, receiver.epoch
 
     # ------------------------------------------------------------------
     # receive side
@@ -288,15 +417,20 @@ class ReliableTransport:
     def on_frame(self, src: int, dst: int, frame: Any) -> None:
         """A physical frame survived the substrate and arrived at dst."""
         if type(frame) is AckFrame:
-            self._apply_ack(dst, src, frame.ack)
+            self._apply_ack(dst, src, frame.ack, frame.epoch)
             return
         # Data frame: its piggybacked ack covers the reverse channel.
         if frame.ack >= 0:
-            self._apply_ack(dst, src, frame.ack)
+            self._apply_ack(dst, src, frame.ack, frame.ack_epoch)
+        if frame.epoch != self._current_epoch(src, dst):
+            # Straggler from a previous incarnation of the channel
+            # (either endpoint crash-restarted since it was sent);
+            # its sequence numbers mean nothing to the fresh stream.
+            return
         channel = (src, dst)
         receiver = self._receivers.get(channel)
-        if receiver is None:
-            receiver = self._receivers[channel] = _ReceiverChannel()
+        if receiver is None or receiver.epoch != frame.epoch:
+            receiver = self._receivers[channel] = _ReceiverChannel(frame.epoch)
         network = self._network
         seq = frame.seq
         if seq <= receiver.cumulative or seq in receiver.buffer:
@@ -331,15 +465,24 @@ class ReliableTransport:
             network._deliver_logical(dst, payload)
         self._schedule_ack(src, dst, receiver)
 
-    def _apply_ack(self, local: int, remote: int, ack: int) -> None:
+    def _apply_ack(
+        self,
+        local: int,
+        remote: int,
+        ack: int,
+        epoch: tuple[int, int] = (0, 0),
+    ) -> None:
         """Process a cumulative ack ``local`` received from ``remote``.
 
         The ack covers frames ``local`` previously sent to ``remote``
         (the reverse of the channel the ack arrived on), so it
-        releases send-side state of channel ``(local, remote)``.
+        releases send-side state of channel ``(local, remote)``.  An
+        ack tagged with a stale incarnation epoch is ignored: it
+        describes a stream that died with a crash, and applying it
+        would wrongly release frames of the fresh stream.
         """
         sender = self._senders.get((local, remote))
-        if sender is None:
+        if sender is None or sender.epoch != epoch:
             return
         unacked = sender.unacked
         if not unacked:
@@ -364,13 +507,19 @@ class ReliableTransport:
     ) -> None:
         """Standalone-ack timer body: still owed -> send an AckFrame."""
         receiver.ack_pending = False
+        if self._receivers.get((remote_src, local_dst)) is not receiver:
+            return  # channel was reset (crash incarnation); stale timer
         if receiver.cumulative <= receiver.ack_sent:
             return  # piggybacked in the meantime; nothing owed
         receiver.ack_sent = receiver.cumulative
         network = self._network
         if network._count_totals:
             network.stats.acks += 1
-        network._transmit_frame(local_dst, remote_src, AckFrame(receiver.ack_sent))
+        network._transmit_frame(
+            local_dst,
+            remote_src,
+            AckFrame(receiver.ack_sent, receiver.epoch),
+        )
 
     # ------------------------------------------------------------------
     # introspection

@@ -12,11 +12,12 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Iterable
 
+from repro.sim.crash import CrashController, CrashPlan
 from repro.sim.events import EventQueue
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, Network, UniformLatency
 from repro.sim.processor import Processor, ServiceTimeFn
-from repro.sim.reliable import ReliabilityConfig
+from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 
 
 class QuiescenceError(RuntimeError):
@@ -54,6 +55,13 @@ class Kernel:
         ``fault_plan`` drops or reorders messages.
     reliability_config:
         Timeout/backoff/ack tuning for ``"enforced"`` mode.
+    crash_plan:
+        Optional :class:`~repro.sim.crash.CrashPlan` of crash-stop
+        failures.  When present, processors are built crashable, the
+        network learns the liveness oracle (dead destinations become
+        dead letters), and :attr:`crash_controller` executes the plan
+        and collects availability records.  ``None`` (default) keeps
+        every hook uninstalled: the fast path is untouched.
     """
 
     #: Default guard on run length; large enough for every experiment
@@ -70,6 +78,7 @@ class Kernel:
         accounting: str = "full",
         reliability: str = "assumed",
         reliability_config: ReliabilityConfig | None = None,
+        crash_plan: CrashPlan | None = None,
     ) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
@@ -85,13 +94,36 @@ class Kernel:
             reliability=reliability,
             reliability_config=reliability_config,
         )
+        crashable = crash_plan is not None
         self.processors: dict[int, Processor] = {
             pid: Processor(
-                pid, self.events, service_time=service_time, accounting=accounting
+                pid,
+                self.events,
+                service_time=service_time,
+                accounting=accounting,
+                crashable=crashable,
             )
             for pid in range(num_processors)
         }
         self.network.install_delivery(self._on_delivery)
+        #: Callbacks ``handler(src, dst, lost_payloads)`` run when the
+        #: reliable transport suspects a dead peer (PeerDown signal).
+        self.peer_down_handlers: list[Callable[[int, int, list], None]] = []
+        self.crash_plan = crash_plan
+        self.crash_controller: CrashController | None = None
+        if crash_plan is not None:
+            controller = CrashController(
+                self, crash_plan, random.Random(seed + 2)
+            )
+            self.crash_controller = controller
+            self.network.install_liveness(
+                controller.is_alive,
+                dead_peer_policy=crash_plan.dead_peer_policy,
+            )
+            transport = self.network.transport
+            if transport is not None:
+                transport.install_peer_down(self._on_peer_down)
+            controller.install()
 
     @property
     def now(self) -> float:
@@ -144,6 +176,13 @@ class Kernel:
             raise RuntimeError(f"message delivered to unknown processor {dst}")
         proc.submit(payload)
 
+    def _on_peer_down(self, src: int, dst: int, lost: list) -> None:
+        controller = self.crash_controller
+        if controller is not None:
+            controller.note_suspected(src, dst)
+        for handler in self.peer_down_handlers:
+            handler(src, dst, lost)
+
     def run_to_quiescence(self, max_events: int | None = None) -> int:
         """Run until no events remain; return the number executed.
 
@@ -153,6 +192,11 @@ class Kernel:
         budget = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
         try:
             return self.events.run(max_events=budget)
+        except ReliabilityError:
+            # A channel exhausted its retry budget: this is the
+            # transport's verdict, not an event-budget overrun, and
+            # callers (the cluster API) handle it specifically.
+            raise
         except RuntimeError as exc:
             raise QuiescenceError(str(exc)) from exc
 

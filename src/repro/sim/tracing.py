@@ -99,6 +99,9 @@ class CopyHistory:
     birth_set: frozenset[int] = frozenset()
     created_at: float = 0.0
     deleted_at: float | None = None
+    #: why the copy died: "deleted" (unjoin / migration / retire) or
+    #: "crash" (crash-stop wiped the processor that held it).
+    deleted_reason: str = "deleted"
     applied: list[AppliedUpdate] = field(default_factory=list)
 
     @property
@@ -204,12 +207,15 @@ class Trace:
             created_at=time,
         )
 
-    def record_copy_deleted(self, node_id: int, pid: int, time: float) -> None:
-        """The copy on ``pid`` was destroyed (unjoin / migration)."""
+    def record_copy_deleted(
+        self, node_id: int, pid: int, time: float, reason: str = "deleted"
+    ) -> None:
+        """The copy on ``pid`` was destroyed (unjoin / migration / crash)."""
         copy = self.copies.get((node_id, pid))
         if copy is None or not copy.alive:
             raise ValueError(f"no live copy ({node_id}, {pid}) to delete")
         copy.deleted_at = time
+        copy.deleted_reason = reason
 
     def live_copies(self, node_id: int) -> list[CopyHistory]:
         """All live copies of ``node_id``."""

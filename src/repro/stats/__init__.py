@@ -8,6 +8,7 @@
 """
 
 from repro.stats.metrics import (
+    availability_summary,
     latency_summary,
     load_balance,
     message_summary,
@@ -30,6 +31,7 @@ from repro.stats.timeseries import (
 )
 
 __all__ = [
+    "availability_summary",
     "latency_summary",
     "load_balance",
     "message_summary",

@@ -58,6 +58,62 @@ def reliability_summary(kernel: "Kernel") -> dict[str, Any]:
     }
 
 
+def availability_summary(
+    kernel: "Kernel", trace: "Trace | None" = None
+) -> dict[str, Any]:
+    """Crash/restart/recovery accounting (X6 quantities).
+
+    Summarises the :class:`~repro.sim.crash.CrashController` records:
+    how many crash-stop failures occurred, what they destroyed
+    (queued + in-service actions), how long detection and recovery
+    took, and what the network refused to deliver to dead processors
+    (``dead_letters``).  When a trace is given, the engine-level
+    repair counters (forced unjoins, leaf re-homes, PC donations,
+    op retries/timeouts) are included.
+    """
+    controller = kernel.crash_controller
+    summary: dict[str, Any] = {
+        "crash_plan": kernel.crash_plan is not None,
+        "crashes": 0,
+        "restarts": 0,
+        "lost_actions": 0,
+        "dead_letters": getattr(kernel.network.stats, "dead_letters", 0),
+    }
+    if controller is None:
+        return summary
+    records = controller.records
+    downtimes = [r.downtime for r in records if r.downtime is not None]
+    detections = [
+        r.detected_at - r.crashed_at
+        for r in records
+        if r.detected_at is not None
+    ]
+    recoveries = [
+        r.recovery_latency for r in records if r.recovery_latency is not None
+    ]
+    summary.update(
+        crashes=len(records),
+        restarts=sum(1 for r in records if r.restarted_at is not None),
+        lost_actions=sum(r.lost_actions for r in records),
+        suspected=sum(len(r.suspected_by) for r in records),
+        mean_downtime=sum(downtimes) / len(downtimes) if downtimes else 0.0,
+        mean_detection=sum(detections) / len(detections) if detections else 0.0,
+        mean_recovery=sum(recoveries) / len(recoveries) if recoveries else 0.0,
+    )
+    if trace is not None:
+        counters = trace.counters
+        summary.update(
+            forced_unjoins=counters.get("crash_forced_unjoins", 0),
+            pc_donations=counters.get("pc_donations", 0),
+            leaves_rehomed=counters.get("leaves_rehomed", 0),
+            eager_rereplications=counters.get("eager_rereplications", 0),
+            op_retries=counters.get("op_retries", 0),
+            ops_timed_out=counters.get("ops_timed_out", 0),
+            ops_failed=counters.get("ops_failed", 0),
+        )
+    return summary
+
+
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:
     """Messages per half-split, the Figure 5 / C4 quantity.
 
