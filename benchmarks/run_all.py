@@ -38,6 +38,7 @@ EXPERIMENTS = [
     ("x4", "bench_x4_trie_edges"),
     ("x5", "bench_x5_reliable_delivery"),
     ("x6", "bench_x6_crash_recovery"),
+    ("x7", "bench_x7_anti_entropy"),
 ]
 
 

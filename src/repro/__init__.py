@@ -46,6 +46,7 @@ from repro.core.replication import (
     SingleCopy,
 )
 from repro.protocols import PROTOCOLS, make_protocol
+from repro.repair import RepairPlan
 from repro.sim.crash import CrashPlan
 from repro.sim.failure import FaultPlan
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
@@ -71,6 +72,7 @@ __all__ = [
     "PROTOCOLS",
     "make_protocol",
     "CrashPlan",
+    "RepairPlan",
     "FaultPlan",
     "ReliabilityConfig",
     "ReliabilityError",

@@ -70,6 +70,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         crash_plan=crash_plan,
         op_timeout=args.op_timeout,
         replication_factor=args.replication_factor,
+        mirror_placement=args.mirror_placement,
+        repair_period=args.repair_period,
+        repair_fanout=args.repair_fanout,
     )
     expected = {}
     spacing = args.op_spacing if crash_plan is not None else 0.0
@@ -111,6 +114,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"ops: {len(results.completed)} completed, "
             f"{len(results.failed)} failed, "
             f"{len(results.timed_out)} timed out"
+        )
+    if args.repair_period is not None:
+        from repro.stats import repair_summary
+
+        rs = repair_summary(cluster.kernel, cluster.trace)
+        by_kind = ", ".join(
+            f"{count} {kind}"
+            for kind, count in rs["repairs_by_kind"].items()
+            if count
+        )
+        print(
+            f"repair ({rs['placement']} placement, period "
+            f"{rs['period']:g}, fanout {rs['fanout']}): "
+            f"{rs['rounds_started']} rounds "
+            f"({rs['rounds_clean']} clean, {rs['rounds_diverged']} "
+            f"diverged, {rs['rounds_aborted']} aborted), "
+            f"{rs['digests_exchanged']} digests "
+            f"({rs['digest_bytes']} bytes); "
+            f"repairs: {by_kind or 'none'}; "
+            f"converged {rs['time_to_convergence']:.0f} before quiescence"
         )
     print("audit:", report.summary())
     if not report.ok:
@@ -290,6 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--replication-factor", type=int, default=1,
         help="total leaf copies under crashes (>= 2 maintains mirrors "
         "that are promoted when the home dies)",
+    )
+    demo.add_argument(
+        "--mirror-placement", default="ring",
+        choices=["ring", "rendezvous"],
+        help="mirror target policy: pid-successor 'ring' (one failure "
+        "domain per home) or per-leaf 'rendezvous' hashing",
+    )
+    demo.add_argument(
+        "--repair-period", type=float, default=None,
+        help="enable background anti-entropy repair with this gossip "
+        "period (virtual time units)",
+    )
+    demo.add_argument(
+        "--repair-fanout", type=int, default=1,
+        help="peers contacted per gossip tick when repair is enabled",
     )
     demo.add_argument(
         "--op-spacing", type=float, default=8.0,

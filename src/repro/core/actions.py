@@ -386,6 +386,22 @@ class UnjoinRequest:
 
 
 @dataclass(frozen=True)
+class UnjoinAck:
+    """The primary copy acknowledges an unjoin request.
+
+    Only emitted when crash-stop failures are enabled: the leaver
+    keeps a ``pending_unjoins`` entry so the request can be re-sent
+    across a PC crash, and this ack is what retires the entry (both
+    after a successful registration and when the re-send hits the
+    unknown-member guard).
+    """
+
+    kind = "unjoin_ack"
+
+    node_id: int
+
+
+@dataclass(frozen=True)
 class RelayedUnjoin:
     """PC informs remaining copies of a departed member."""
 

@@ -157,6 +157,23 @@ class DBTreeCluster:
         via the join path; ``"eager"`` re-replicates immediately on
         failure detection (the available-copies baseline the X6
         experiment compares against).
+    mirror_placement:
+        Policy choosing where a single-copy leaf's mirrors live:
+        ``"ring"`` (default) uses pid-successor placement, matching
+        the original failure layer; ``"rendezvous"`` uses
+        highest-random-weight hashing so simultaneous adjacent-pid
+        crashes no longer wipe a leaf together with all its mirrors.
+    repair_period:
+        Gossip period (virtual time units) for the background
+        anti-entropy repair subsystem (:mod:`repro.repair`).  ``None``
+        (default) leaves the subsystem uninstalled and the fast path
+        byte-identical.
+    repair_fanout:
+        Peers contacted per gossip round when repair is enabled.
+    repair_plan:
+        Full :class:`~repro.repair.RepairPlan` for fine tuning
+        (buckets, dormancy, log cap); overrides ``repair_period`` /
+        ``repair_fanout``.
     """
 
     def __init__(
@@ -182,6 +199,10 @@ class DBTreeCluster:
         op_retries: int = 3,
         replication_factor: int = 1,
         recovery_mode: str = "lazy",
+        mirror_placement: str = "ring",
+        repair_period: float | None = None,
+        repair_fanout: int = 1,
+        repair_plan: Any | None = None,
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -205,6 +226,10 @@ class DBTreeCluster:
                     "protocol relies on donors having drained the dead "
                     "window's traffic before a restart is announced"
                 )
+        if repair_plan is None and repair_period is not None:
+            from repro.repair import RepairPlan
+
+            repair_plan = RepairPlan(period=repair_period, fanout=repair_fanout)
         self.kernel = Kernel(
             num_processors=num_processors,
             latency_model=latency_model
@@ -229,6 +254,8 @@ class DBTreeCluster:
             op_retries=op_retries,
             replication_factor=replication_factor,
             recovery_mode=recovery_mode,
+            mirror_placement=mirror_placement,
+            repair_plan=repair_plan,
         )
 
     # ------------------------------------------------------------------
@@ -407,6 +434,12 @@ class DBTreeCluster:
         from repro.stats.metrics import availability_summary
 
         return availability_summary(self.kernel, self.trace)
+
+    def repair_summary(self) -> dict[str, Any]:
+        """Anti-entropy repair accounting; see repro.stats."""
+        from repro.stats.metrics import repair_summary
+
+        return repair_summary(self.kernel, self.trace)
 
     def cache_stats(self) -> dict[str, Any]:
         """Leaf-location cache accounting; see DBTreeEngine.leaf_cache_stats."""

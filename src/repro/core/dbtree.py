@@ -47,12 +47,15 @@ from repro.core.leafcache import LeafHintCache
 from repro.core.node import NodeCopy, NodeSnapshot
 from repro.core.piggyback import BatchedRelays
 from repro.core.replication import Placement, ReplicationPolicy
+from repro.repair.placement import make_placement
 from repro.sim.processor import Processor
 from repro.sim.simulator import Kernel
 from repro.sim.tracing import Trace
 
 if TYPE_CHECKING:
     from repro.protocols.base import Protocol
+    from repro.repair.gossip import RepairPlan
+    from repro.repair.repair import RepairService
 
 
 @dataclass(frozen=True)
@@ -101,6 +104,8 @@ class DBTreeEngine:
         op_retries: int = 3,
         replication_factor: int = 1,
         recovery_mode: str = "lazy",
+        mirror_placement: str = "ring",
+        repair_plan: "RepairPlan | None" = None,
     ) -> None:
         self.kernel = kernel
         self.protocol = protocol
@@ -134,6 +139,10 @@ class DBTreeEngine:
             and len(kernel.pids) > 1
         )
         self._dedup_returns = self._crash_enabled or op_timeout is not None
+        self.mirror_placement = make_placement(mirror_placement)
+        #: The anti-entropy service (repro.repair); None keeps every
+        #: repair hook a single attribute test on the fast path.
+        self.repair: "RepairService | None" = None
         #: op_id -> "failed" | "timed_out" for operations that will
         #: never produce a return value (home crashed / retries spent).
         self.op_verdicts: dict[int, str] = {}
@@ -178,6 +187,10 @@ class DBTreeEngine:
         protocol.bind(self)
         kernel.install_handler(self.handle)
         self._bootstrap()
+        if repair_plan is not None:
+            from repro.repair.repair import RepairService
+
+            self.repair = RepairService(self, repair_plan)
 
     # ------------------------------------------------------------------
     # small accessors
@@ -1237,9 +1250,6 @@ class DBTreeEngine:
         #    primary for (first donation wins; duplicates are ignored,
         #    and FIFO queues mean any donor's snapshot covers every
         #    initial action relayed during the dead window).
-        back_is_my_mirror = (
-            self._mirror_enabled and back in self._mirror_targets(proc.pid)
-        )
         for copy in self.store(proc).values():
             if copy.retired:
                 continue
@@ -1250,9 +1260,10 @@ class DBTreeEngine:
                 )
                 self.trace.bump("pc_donations")
             elif (
-                back_is_my_mirror
+                self._mirror_enabled
                 and copy.is_leaf
                 and len(copy.copy_versions) == 1
+                and back in self._mirror_targets(proc.pid, copy.node_id)
             ):
                 # 3. Refreshed mirrors of this processor's own leaves
                 #    (the peer's mirror store was wiped by the crash).
@@ -1286,16 +1297,58 @@ class DBTreeEngine:
         return True
 
     # -- leaf mirroring (replication_factor >= 2) ----------------------
-    def _mirror_targets(self, home_pid: int) -> tuple[int, ...]:
-        """Ring successors that passively mirror ``home_pid``'s
-        single-copy leaves (``replication_factor - 1`` of them)."""
-        pids = self.kernel.pids
-        count = len(pids)
-        index = pids.index(home_pid)
-        return tuple(
-            pids[(index + offset) % count]
-            for offset in range(1, min(self.replication_factor, count))
+    def _mirror_targets(self, home_pid: int, node_id: int) -> tuple[int, ...]:
+        """Processors that passively mirror one of ``home_pid``'s
+        single-copy leaves (``replication_factor - 1`` of them, in
+        preference order), per the installed placement policy."""
+        return self.mirror_placement.targets(
+            home_pid, node_id, self.kernel.pids, self.replication_factor
         )
+
+    def set_mirror_placement(self, name: str) -> None:
+        """Switch the placement policy at runtime and migrate mirrors.
+
+        Every single-copy leaf's snapshot is pushed to targets the new
+        policy adds and retracted from targets it drops; anything this
+        eager pass misses (in-flight updates, crashed holders) is
+        cleaned up by the anti-entropy rounds, which retract stray
+        mirrors and pull missing ones against the *current* policy.
+        """
+        old = self.mirror_placement
+        new = make_placement(name)
+        self.mirror_placement = new
+        if not self._mirror_enabled or new.name == old.name:
+            return
+        pids = self.kernel.pids
+        factor = self.replication_factor
+        for proc in self.kernel.processors.values():
+            if not proc.alive:
+                continue
+            for copy in list(self.store(proc).values()):
+                if (
+                    not copy.is_leaf
+                    or copy.retired
+                    or len(copy.copy_versions) != 1
+                ):
+                    continue
+                old_targets = set(
+                    old.targets(proc.pid, copy.node_id, pids, factor)
+                )
+                new_targets = set(
+                    new.targets(proc.pid, copy.node_id, pids, factor)
+                )
+                snapshot = copy.snapshot()
+                for pid in new_targets - old_targets:
+                    self.kernel.route(
+                        proc.pid,
+                        pid,
+                        MirrorUpdate(proc.pid, copy.node_id, snapshot),
+                    )
+                for pid in old_targets - new_targets:
+                    self.kernel.route(
+                        proc.pid, pid, MirrorUpdate(proc.pid, copy.node_id, None)
+                    )
+                self.trace.bump("mirror_migrations")
 
     def mirror_leaf(self, proc: Processor, copy: NodeCopy) -> None:
         """Push the current state of a single-copy leaf to its mirrors.
@@ -1309,7 +1362,7 @@ class DBTreeEngine:
         if not copy.is_leaf or copy.retired or len(copy.copy_versions) != 1:
             return
         snapshot = copy.snapshot()
-        for pid in self._mirror_targets(proc.pid):
+        for pid in self._mirror_targets(proc.pid, copy.node_id):
             self.kernel.route(
                 proc.pid, pid, MirrorUpdate(proc.pid, copy.node_id, snapshot)
             )
@@ -1319,7 +1372,7 @@ class DBTreeEngine:
         a later crash cannot resurrect a stale ghost of it."""
         if not self._mirror_enabled:
             return
-        for pid in self._mirror_targets(proc.pid):
+        for pid in self._mirror_targets(proc.pid, node_id):
             self.kernel.route(proc.pid, pid, MirrorUpdate(proc.pid, node_id, None))
 
     def _on_mirror_update(self, proc: Processor, action: MirrorUpdate) -> None:
@@ -1353,13 +1406,13 @@ class DBTreeEngine:
         if not doomed:
             return
         controller = self.kernel.crash_controller
-        successor = None
-        for pid in self._mirror_targets(dead):
-            if controller is not None and controller.is_alive(pid):
-                successor = pid
-                break
         for node_id, snap in doomed:
             del mirrors[node_id]
+            successor = None
+            for pid in self._mirror_targets(dead, node_id):
+                if controller is not None and controller.is_alive(pid):
+                    successor = pid
+                    break
             if proc.pid != successor or node_id in self.store(proc):
                 continue
             copy = NodeCopy.from_snapshot(snap)

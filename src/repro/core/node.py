@@ -79,6 +79,7 @@ class NodeCopy:
         "home_pid",
         "link_versions",
         "retired",
+        "mut",
     )
 
     def __init__(
@@ -122,6 +123,10 @@ class NodeCopy:
         # zombie forwarder -- empty range, kept only so in-flight
         # actions can follow its links; GC-able at any time.
         self.retired: bool = False
+        # Entry-mutation counter: bumped by every insert / delete /
+        # extraction so digest caches can revalidate in O(1) instead
+        # of re-hashing the entries (repro.repair.digest).
+        self.mut: int = 0
 
     @property
     def is_pc(self) -> bool:
@@ -192,6 +197,7 @@ class NodeCopy:
         themselves, which the lazy protocols rely on when an update is
         both relayed directly and re-relayed by the primary copy.
         """
+        self.mut += 1
         if key in self._payloads:
             self._payloads[key] = payload
             return False
@@ -203,6 +209,7 @@ class NodeCopy:
         """Remove ``key`` if present; return True if it was present."""
         if key not in self._payloads:
             return False
+        self.mut += 1
         del self._payloads[key]
         index = bisect.bisect_left(self._keys, key)
         del self._keys[index]
@@ -258,6 +265,7 @@ class NodeCopy:
 
     def extract_upper(self, separator: Key) -> list[tuple[Key, Any]]:
         """Remove and return all entries with key >= ``separator``."""
+        self.mut += 1
         index = bisect.bisect_left(self._keys, separator)
         upper = [(k, self._payloads.pop(k)) for k in self._keys[index:]]
         del self._keys[index:]

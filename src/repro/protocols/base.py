@@ -203,6 +203,8 @@ class Protocol:
             engine.learn_location(proc, action.payload, action.payload_pids)
         if engine._mirror_enabled and copy.is_leaf:
             engine.mirror_leaf(proc, copy)
+        if engine.repair is not None:
+            engine.repair.log_update(copy, action)
         return result
 
     def relay_keyed(self, proc: "Processor", copy: NodeCopy, action: Any) -> int:
@@ -244,6 +246,8 @@ class Protocol:
             )
         if isinstance(action, InsertAction) and action.payload_pids:
             engine.learn_location(proc, action.payload, action.payload_pids)
+        if engine.repair is not None:
+            engine.repair.log_update(copy, action)
         return True
 
     def _finish_keyed(

@@ -39,6 +39,7 @@ from repro.core.actions import (
     Mode,
     RelayedJoin,
     RelayedUnjoin,
+    UnjoinAck,
     UnjoinRequest,
 )
 from repro.core.keys import NEG_INF, KeyRange, key_lt
@@ -271,6 +272,12 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         if isinstance(action, RelayedUnjoin):
             self._on_relayed_unjoin(proc, action)
             return True
+        if isinstance(action, UnjoinAck):
+            pending = proc.state.get("pending_unjoins")
+            if pending is not None:
+                pending.pop(action.node_id, None)
+            self._engine().trace.bump("unjoin_acks")
+            return True
         if isinstance(action, JoinRetry):
             # An exact (healing) join bounced; clear the suppression
             # so the next missing relay retries.
@@ -415,7 +422,8 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
             # Remember the outstanding request: if the PC crashes
             # before registering it, we re-send once the PC recovers
             # (the crash wiped its queue).  Registered unjoins make
-            # the re-send hit the unknown-member guard, harmlessly.
+            # the re-send hit the unknown-member guard, harmlessly;
+            # the PC's UnjoinAck retires the entry either way.
             proc.state.setdefault("pending_unjoins", {})[copy.node_id] = copy.pc_pid
         engine.kernel.route(
             proc.pid,
@@ -439,6 +447,13 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
             engine.trace.bump("unjoin_misrouted")
             return
         self._register_unjoin(proc, copy, action.leaver_pid)
+        if engine._crash_enabled and action.leaver_pid != proc.pid:
+            # Retire the leaver's pending_unjoins entry -- both for a
+            # fresh registration and for a re-send that just hit the
+            # unknown-member guard (already registered before a crash).
+            engine.kernel.route(
+                proc.pid, action.leaver_pid, UnjoinAck(node_id=action.node_id)
+            )
 
     def _register_unjoin(
         self, proc: "Processor", copy: NodeCopy, leaver_pid: int
@@ -546,7 +561,11 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
 
         Requests the PC already registered before crashing hit the
         unknown-member guard and are discarded; only the lost ones
-        take effect.
+        take effect.  Either way the PC answers with an
+        :class:`~repro.core.actions.UnjoinAck`, which is what retires
+        the ``pending_unjoins`` entry -- keeping it until then means
+        a re-send lost to a re-crash is re-sent again on the next
+        recovery instead of silently forgotten.
         """
         engine = self._engine()
         pending = proc.state.get("pending_unjoins")
@@ -555,7 +574,6 @@ class VariableCopiesProtocol(MigrationMixin, SemiSyncProtocol):
         for node_id, pc_pid in list(pending.items()):
             if pc_pid != pid:
                 continue
-            del pending[node_id]
             engine.kernel.route(
                 proc.pid,
                 pid,

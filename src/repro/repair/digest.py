@@ -1,0 +1,122 @@
+"""Range digests: compact, incrementally maintained state hashes.
+
+Anti-entropy needs to compare replica state without shipping it.  A
+*node digest* hashes exactly what the convergence theory says two
+copies with compatible histories must agree on at quiescence -- the
+key range, the entries, the B-link right pointer, and the replication
+membership -- and deliberately nothing that is allowed to differ
+transiently (navigation hints, protocol scratch, the home pid).
+
+The same formula is applied to a :class:`~repro.core.node.NodeCopy`
+and to a mirror's stored :class:`~repro.core.node.NodeSnapshot`, so a
+fresh mirror hashes equal to its home leaf by construction.
+
+Incremental maintenance is O(changed), not O(tree): every entry
+mutation bumps the copy's ``mut`` counter (see ``NodeCopy``), and the
+:class:`DigestIndex` caches each node's digest keyed by the small
+tuple of fields that feed the hash -- ``(mut, version, range, right
+link, membership)``.  An unchanged node re-validates its cache entry
+with tuple comparison; only changed nodes re-hash.  Digest caches are
+volatile: they die with a crash, like everything else on a processor.
+
+Hashes use :func:`hashlib.blake2b` over the ``repr`` of a canonical
+tuple -- process-stable and seed-independent, unlike Python's
+randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.core.node import NodeCopy, NodeSnapshot
+
+#: Wire-size estimate (bytes) of one digest, for the byte accounting.
+DIGEST_BYTES = 8
+
+
+def hash_parts(parts: tuple) -> int:
+    """64-bit stable hash of a canonical tuple."""
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def copy_digest(copy: "NodeCopy") -> int:
+    """Digest of a live node copy's convergent state."""
+    keys = copy.keys()
+    return hash_parts(
+        (
+            copy.range.low,
+            copy.range.high,
+            keys,
+            tuple(copy.lookup(key) for key in keys),
+            copy.right_id,
+            tuple(sorted(copy.copy_versions.items())),
+        )
+    )
+
+
+def snapshot_digest(snap: "NodeSnapshot") -> int:
+    """Digest of a snapshot; equals :func:`copy_digest` of its source."""
+    return hash_parts(
+        (
+            snap.low,
+            snap.high,
+            snap.keys,
+            snap.payloads,
+            snap.right_id,
+            tuple(sorted(snap.copy_versions)),
+        )
+    )
+
+
+def combine(entries: Iterable[tuple]) -> int:
+    """Order-independent roll-up of ``(node_id, kind, digest)`` rows."""
+    return hash_parts(tuple(sorted(entries)))
+
+
+class DigestIndex:
+    """Per-processor digest caches with O(changed) revalidation."""
+
+    def __init__(self) -> None:
+        # pid -> node_id -> (cache_key, digest)
+        self._nodes: dict[int, dict[int, tuple[tuple, int]]] = {}
+        # pid -> node_id -> (snapshot, digest); snapshots are immutable
+        # so identity is a sound cache key.
+        self._mirrors: dict[int, dict[int, tuple["NodeSnapshot", int]]] = {}
+
+    @staticmethod
+    def _cache_key(copy: "NodeCopy") -> tuple:
+        return (
+            copy.mut,
+            copy.version,
+            copy.range.low,
+            copy.range.high,
+            copy.right_id,
+            tuple(sorted(copy.copy_versions.items())),
+        )
+
+    def node_digest(self, pid: int, copy: "NodeCopy") -> int:
+        cache = self._nodes.setdefault(pid, {})
+        key = self._cache_key(copy)
+        entry = cache.get(copy.node_id)
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        digest = copy_digest(copy)
+        cache[copy.node_id] = (key, digest)
+        return digest
+
+    def mirror_digest(self, pid: int, node_id: int, snap: "NodeSnapshot") -> int:
+        cache = self._mirrors.setdefault(pid, {})
+        entry = cache.get(node_id)
+        if entry is not None and entry[0] is snap:
+            return entry[1]
+        digest = snapshot_digest(snap)
+        cache[node_id] = (snap, digest)
+        return digest
+
+    def reset(self, pid: int) -> None:
+        """Drop a processor's caches (crash-stop: volatile state)."""
+        self._nodes.pop(pid, None)
+        self._mirrors.pop(pid, None)

@@ -1,0 +1,701 @@
+"""The repair executor: resolve digest mismatches with lazy updates.
+
+The drill-down (:mod:`repro.repair.gossip`) ends with one processor
+holding a list of per-node digests that disagree with its own.  Every
+resolution reuses the paper's own machinery rather than ad-hoc state
+copying:
+
+* **missed lazy updates** -- each copy keeps a bounded log of the
+  relayed form of the keyed updates it incorporated; a
+  :class:`RepairPull` replays the ones the other side lacks as
+  ordinary relayed actions (original action ids, so the receiving
+  copy's idempotent `apply_relayed_keyed` dedups and the audit trail
+  stays a compatible history),
+* **structural divergence** (range / right link / membership) -- the
+  primary copy is authoritative because it serializes splits, joins
+  and unjoins; a stale member drops its copy and heals with the exact
+  (id-addressed) join the crash layer already uses
+  (:class:`RejoinAdvise`),
+* **stale or missing mirrors** -- refreshed from the home with the
+  ordinary :class:`~repro.core.actions.MirrorUpdate` push
+  (:class:`MirrorPull`); mirrors no longer in the placement's target
+  set are retracted the same way, which is also the live migration
+  path from ring to rendezvous placement,
+* **orphaned leaves** -- a mirror whose home died re-enters through
+  the crash layer's re-homing; a home that lost a leaf it still
+  nominally owns asks a mirror to send it back as a ``CreateCopy
+  ("rehome")`` (:class:`MirrorReturnRequest`).
+
+:class:`RepairService` is the facade the engine constructs when a
+:class:`~repro.repair.gossip.RepairPlan` is given: it owns the digest
+index, the gossip scheduler, and the executor, and registers itself
+through the engine's *extra handler* fallthrough so the repair-off
+dispatch path is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actions import (
+    CreateCopy,
+    JoinRequest,
+    MirrorUpdate,
+    Mode,
+    UnjoinRequest,
+)
+from repro.repair.digest import DigestIndex
+from repro.repair.gossip import (
+    DigestDetail,
+    DigestMatch,
+    DigestNodes,
+    DigestOffer,
+    GossipScheduler,
+    GossipTick,
+    RepairPlan,
+)
+
+if TYPE_CHECKING:
+    from repro.core.dbtree import DBTreeEngine
+    from repro.core.node import NodeCopy
+    from repro.sim.processor import Processor
+
+
+# ----------------------------------------------------------------------
+# repair actions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MirrorPull:
+    """Ask a leaf's home to re-push (or retract) its mirror."""
+
+    kind = "mirror_pull"
+
+    src_pid: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class MirrorReturnRequest:
+    """A home lost a leaf it still owns: ask a mirror to return it."""
+
+    kind = "mirror_return_request"
+
+    src_pid: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class RepairPull:
+    """Ask a peer copy to replay the keyed updates we are missing.
+
+    ``have`` is the requester's incorporated action-id set; ``meta``
+    its structural fingerprint (range, right link, membership).
+    ``reply`` marks the symmetric counter-pull so two diverged copies
+    cannot ping-pong forever in one exchange.
+    """
+
+    kind = "repair_pull"
+
+    src_pid: int
+    node_id: int
+    have: frozenset
+    meta: tuple | None
+    reply: bool = False
+
+
+@dataclass(frozen=True)
+class RejoinAdvise:
+    """The primary copy tells a stale member to drop and re-join."""
+
+    kind = "rejoin_advise"
+
+    src_pid: int
+    node_id: int
+    level: int
+    key: Any
+    pc_pid: int
+
+
+_REPAIR_ACTIONS = (
+    GossipTick,
+    DigestOffer,
+    DigestMatch,
+    DigestDetail,
+    DigestNodes,
+    MirrorPull,
+    MirrorReturnRequest,
+    RepairPull,
+    RejoinAdvise,
+)
+
+
+class RepairService:
+    """Background anti-entropy: digests + gossip + repair executor."""
+
+    def __init__(self, engine: "DBTreeEngine", plan: RepairPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.index = DigestIndex()
+        self.counters: dict[str, int] = {}
+        self.digest_bytes = 0
+        self.scheduler = GossipScheduler(self, seed=engine.kernel.seed + 3)
+        engine.add_extra_handler(self.handle)
+        controller = engine.kernel.crash_controller
+        if controller is not None:
+            controller.on_crash(self._on_peer_crash)
+            controller.on_detect(lambda _pid: self.scheduler.wake_all())
+            controller.on_restart(self._on_peer_restart)
+        engine.kernel.repair_service = self
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        self.engine.trace.bump(f"repair_{name}", amount)
+
+    def count_bytes(self, amount: int) -> None:
+        self.digest_bytes += amount
+
+    @property
+    def last_divergence_time(self) -> float:
+        """Virtual time divergence was last observed (convergence age)."""
+        return self.scheduler.last_dirty
+
+    def kick(self) -> None:
+        """Externally signal divergence (tests, fault injection)."""
+        self.scheduler.mark_dirty()
+
+    def _on_peer_crash(self, pid: int) -> None:
+        self.index.reset(pid)
+        self.scheduler.on_processor_crash(pid)
+
+    def _on_peer_restart(self, pid: int) -> None:
+        self.scheduler.mark_dirty()
+
+    # ------------------------------------------------------------------
+    # the per-copy repair log (missed lazy updates)
+    # ------------------------------------------------------------------
+    def log_update(self, copy: "NodeCopy", action: Any) -> None:
+        """Remember the relayed form of a keyed update this copy
+        incorporated, for replay to a diverged peer."""
+        log = copy.proto.get("repair_log")
+        if log is None:
+            log = copy.proto["repair_log"] = {}
+        stored = (
+            action
+            if action.mode is Mode.RELAYED
+            else action.relayed(copy.version)
+        )
+        log[action.action_id] = stored
+        if len(log) > self.plan.log_cap:
+            del log[next(iter(log))]
+
+    # ------------------------------------------------------------------
+    # shared view: what this processor replicates in common with a peer
+    # ------------------------------------------------------------------
+    def shared_entries(
+        self, proc: "Processor", peer: int
+    ) -> dict[int, tuple[str, int, int, Any]]:
+        """node_id -> (role, digest, level, low) for the pair scope.
+
+        Roles: ``"C"`` a replicated copy listing the peer as member,
+        ``"L"`` an own single-copy leaf whose mirror targets include
+        the peer, ``"M"`` a held mirror whose home is the peer.
+        """
+        engine = self.engine
+        index = self.index
+        pid = proc.pid
+        mirror_enabled = engine._mirror_enabled
+        entries: dict[int, tuple[str, int, int, Any]] = {}
+        for copy in proc.state["store"].values():
+            if copy.retired:
+                continue
+            members = copy.copy_versions
+            if peer in members and len(members) > 1:
+                entries[copy.node_id] = (
+                    "C",
+                    index.node_digest(pid, copy),
+                    copy.level,
+                    copy.range.low,
+                )
+            elif (
+                mirror_enabled
+                and copy.is_leaf
+                and len(members) == 1
+                and peer in engine._mirror_targets(pid, copy.node_id)
+            ):
+                entries[copy.node_id] = (
+                    "L",
+                    index.node_digest(pid, copy),
+                    0,
+                    copy.range.low,
+                )
+        mirrors = proc.state.get("mirror_store")
+        if mirrors:
+            for node_id, (home, snap) in mirrors.items():
+                if home == peer:
+                    entries[node_id] = (
+                        "M",
+                        index.mirror_digest(pid, node_id, snap),
+                        snap.level,
+                        snap.low,
+                    )
+        return entries
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, proc: "Processor", action: Any) -> bool:
+        if not isinstance(action, _REPAIR_ACTIONS):
+            return False
+        if isinstance(action, GossipTick):
+            self.scheduler.on_tick(proc)
+        elif isinstance(action, DigestOffer):
+            self.scheduler.on_offer(proc, action)
+        elif isinstance(action, DigestMatch):
+            self.scheduler.on_match(proc, action)
+        elif isinstance(action, DigestDetail):
+            self.scheduler.on_detail(proc, action)
+        elif isinstance(action, DigestNodes):
+            self.scheduler.on_nodes(proc, action)
+        elif isinstance(action, MirrorPull):
+            self._on_mirror_pull(proc, action)
+        elif isinstance(action, MirrorReturnRequest):
+            self._on_mirror_return(proc, action)
+        elif isinstance(action, RepairPull):
+            self._on_repair_pull(proc, action)
+        else:
+            self._on_rejoin_advise(proc, action)
+        return True
+
+    # ------------------------------------------------------------------
+    # the executor: resolve a peer's divergent entries
+    # ------------------------------------------------------------------
+    def execute_repairs(self, proc: "Processor", action: DigestNodes) -> None:
+        peer = action.src_pid
+        mine = self.shared_entries(proc, peer)
+        remote = {row[0]: row[1:] for row in action.entries}
+        repaired = False
+        for node_id, (role, digest, level, low) in remote.items():
+            local = mine.get(node_id)
+            if local is not None and local[1] == digest:
+                continue
+            repaired |= self._repair_remote(
+                proc, peer, node_id, role, level, low
+            )
+        buckets = set(action.buckets)
+        for node_id, (role, _digest, _level, _low) in mine.items():
+            if node_id % self.plan.buckets not in buckets or node_id in remote:
+                continue
+            repaired |= self._repair_local_only(proc, peer, node_id, role)
+        if repaired:
+            self.scheduler.mark_dirty()
+
+    def _repair_remote(
+        self,
+        proc: "Processor",
+        peer: int,
+        node_id: int,
+        role: str,
+        level: int,
+        low: Any,
+    ) -> bool:
+        """The peer replicates ``node_id`` with us and our digest
+        disagrees (or we hold nothing)."""
+        engine = self.engine
+        if role == "C":
+            copy = engine.copy_at(proc, node_id)
+            if copy is not None:
+                engine.kernel.route(
+                    proc.pid,
+                    peer,
+                    RepairPull(
+                        src_pid=proc.pid,
+                        node_id=node_id,
+                        have=frozenset(copy.incorporated_ids),
+                        meta=self._meta(copy),
+                    ),
+                )
+                self.count("copy_pulls")
+                return True
+            # We are a declared member holding nothing: the copy died
+            # with a crash.  Heal exactly like a relay-to-missing.
+            return self._request_rejoin(proc, node_id, level, low, peer)
+        if role == "L":
+            # The peer's own leaf should be mirrored here and is not
+            # (or is stale): pull a fresh push from the home.
+            if engine.copy_at(proc, node_id) is not None:
+                self.count("home_conflicts")
+                return False
+            engine.kernel.route(
+                proc.pid, peer, MirrorPull(src_pid=proc.pid, node_id=node_id)
+            )
+            self.count("mirror_pulls")
+            return True
+        # role == "M": the peer mirrors a leaf it thinks we own.
+        copy = engine.copy_at(proc, node_id)
+        if (
+            copy is not None
+            and copy.is_leaf
+            and not copy.retired
+            and len(copy.copy_versions) == 1
+        ):
+            if peer in engine._mirror_targets(proc.pid, node_id):
+                engine.kernel.route(
+                    proc.pid,
+                    peer,
+                    MirrorUpdate(proc.pid, node_id, copy.snapshot()),
+                )
+                self.count("mirror_refreshes")
+            else:
+                # Stray under the current placement policy: retract.
+                engine.kernel.route(
+                    proc.pid, peer, MirrorUpdate(proc.pid, node_id, None)
+                )
+                self.count("mirror_drops")
+            return True
+        if copy is not None or node_id in proc.state["forward"]:
+            # Retired, replicated, or migrated away: the mirror is a
+            # stale ghost; retract it.
+            engine.kernel.route(
+                proc.pid, peer, MirrorUpdate(proc.pid, node_id, None)
+            )
+            self.count("mirror_drops")
+            return True
+        # We own nothing under that id: the leaf died with a crash and
+        # was never re-homed.  Ask for it back.
+        engine.kernel.route(
+            proc.pid,
+            peer,
+            MirrorReturnRequest(src_pid=proc.pid, node_id=node_id),
+        )
+        self.count("leaf_return_requests")
+        return True
+
+    def _repair_local_only(
+        self, proc: "Processor", peer: int, node_id: int, role: str
+    ) -> bool:
+        """We replicate ``node_id`` with the peer but the peer listed
+        nothing for it in a mismatching bucket."""
+        engine = self.engine
+        if role == "C":
+            copy = engine.copy_at(proc, node_id)
+            if copy is None:
+                return False
+            engine.kernel.route(
+                proc.pid,
+                peer,
+                RejoinAdvise(
+                    src_pid=proc.pid,
+                    node_id=node_id,
+                    level=copy.level,
+                    key=copy.range.low,
+                    pc_pid=copy.pc_pid,
+                ),
+            )
+            self.count("rejoin_advises")
+            return True
+        if role == "L":
+            # Our leaf has no mirror at a current target: push one.
+            copy = engine.copy_at(proc, node_id)
+            if (
+                copy is None
+                or not copy.is_leaf
+                or copy.retired
+                or len(copy.copy_versions) != 1
+            ):
+                return False
+            engine.kernel.route(
+                proc.pid, peer, MirrorUpdate(proc.pid, node_id, copy.snapshot())
+            )
+            self.count("mirror_refreshes")
+            return True
+        # role == "M": we mirror a leaf the peer no longer claims.
+        # Let the home decide: refresh, retract, or take it back.
+        engine.kernel.route(
+            proc.pid, peer, MirrorPull(src_pid=proc.pid, node_id=node_id)
+        )
+        self.count("mirror_pulls")
+        return True
+
+    # ------------------------------------------------------------------
+    # repair action handlers
+    # ------------------------------------------------------------------
+    def _on_mirror_pull(self, proc: "Processor", action: MirrorPull) -> None:
+        engine = self.engine
+        node_id = action.node_id
+        copy = engine.copy_at(proc, node_id)
+        if (
+            copy is not None
+            and copy.is_leaf
+            and not copy.retired
+            and len(copy.copy_versions) == 1
+        ):
+            if action.src_pid in engine._mirror_targets(proc.pid, node_id):
+                engine.kernel.route(
+                    proc.pid,
+                    action.src_pid,
+                    MirrorUpdate(proc.pid, node_id, copy.snapshot()),
+                )
+                self.count("mirror_refreshes")
+            else:
+                engine.kernel.route(
+                    proc.pid,
+                    action.src_pid,
+                    MirrorUpdate(proc.pid, node_id, None),
+                )
+                self.count("mirror_drops")
+            return
+        if copy is not None or node_id in proc.state["forward"]:
+            engine.kernel.route(
+                proc.pid, action.src_pid, MirrorUpdate(proc.pid, node_id, None)
+            )
+            self.count("mirror_drops")
+            return
+        # We lost the leaf entirely: ask the mirror to return it home.
+        engine.kernel.route(
+            proc.pid,
+            action.src_pid,
+            MirrorReturnRequest(src_pid=proc.pid, node_id=node_id),
+        )
+        self.count("leaf_return_requests")
+
+    def _on_mirror_return(
+        self, proc: "Processor", action: MirrorReturnRequest
+    ) -> None:
+        engine = self.engine
+        mirrors = proc.state.get("mirror_store") or {}
+        entry = mirrors.get(action.node_id)
+        if (
+            entry is None
+            or entry[0] != action.src_pid
+            or engine.copy_at(proc, action.node_id) is not None
+        ):
+            self.count("returns_unavailable")
+            return
+        _home, snap = entry
+        engine.kernel.route(
+            proc.pid, action.src_pid, CreateCopy(snap, "rehome")
+        )
+        self.count("leaves_returned")
+
+    def _meta(self, copy: "NodeCopy") -> tuple:
+        """Structural fingerprint: what a value replay cannot fix."""
+        return (
+            copy.range.low,
+            copy.range.high,
+            copy.right_id,
+            tuple(sorted(copy.copy_versions.items())),
+        )
+
+    def _on_repair_pull(self, proc: "Processor", action: RepairPull) -> None:
+        engine = self.engine
+        copy = engine.copy_at(proc, action.node_id)
+        if copy is None:
+            self.count("pulls_on_missing")
+            return
+        log = copy.proto.get("repair_log")
+        replayed = 0
+        if log:
+            incorporated = copy.incorporated_ids
+            for action_id, stored in log.items():
+                if action_id in action.have or action_id not in incorporated:
+                    continue
+                engine.kernel.route(proc.pid, action.src_pid, stored)
+                replayed += 1
+        if replayed:
+            self.count("updates_replayed", replayed)
+        if not action.reply and not action.have <= copy.incorporated_ids:
+            # The peer incorporated ids we lack: pull symmetrically
+            # (marked as the reply leg so the exchange terminates).
+            engine.kernel.route(
+                proc.pid,
+                action.src_pid,
+                RepairPull(
+                    src_pid=proc.pid,
+                    node_id=copy.node_id,
+                    have=frozenset(copy.incorporated_ids),
+                    meta=self._meta(copy),
+                    reply=True,
+                ),
+            )
+            self.count("copy_pulls")
+        if action.meta is not None and action.meta != self._meta(copy):
+            # Structural divergence: value replay cannot repair a
+            # range, link, or membership split-brain.  The PC
+            # serializes splits/joins/unjoins, so it is authoritative.
+            if copy.is_pc:
+                engine.kernel.route(
+                    proc.pid,
+                    action.src_pid,
+                    RejoinAdvise(
+                        src_pid=proc.pid,
+                        node_id=copy.node_id,
+                        level=copy.level,
+                        key=copy.range.low,
+                        pc_pid=proc.pid,
+                    ),
+                )
+                self.count("rejoin_advises")
+            elif copy.pc_pid == action.src_pid:
+                self._drop_and_rejoin(proc, copy)
+            elif not action.reply:
+                # Neither side is authoritative: escalate the same
+                # comparison to the primary copy.
+                engine.kernel.route(
+                    proc.pid,
+                    copy.pc_pid,
+                    RepairPull(
+                        src_pid=proc.pid,
+                        node_id=copy.node_id,
+                        have=frozenset(copy.incorporated_ids),
+                        meta=self._meta(copy),
+                        reply=True,
+                    ),
+                )
+                self.count("pulls_escalated")
+
+    def _on_rejoin_advise(self, proc: "Processor", action: RejoinAdvise) -> None:
+        engine = self.engine
+        node_id = action.node_id
+        if node_id in proc.state.get("unjoined", set()):
+            # We left the replication on purpose; the adviser missed
+            # the unjoin.  Re-tell the primary copy instead.
+            engine.kernel.route(
+                proc.pid,
+                action.pc_pid,
+                UnjoinRequest(node_id=node_id, leaver_pid=proc.pid),
+            )
+            self.count("unjoins_resent")
+            return
+        copy = engine.copy_at(proc, node_id)
+        if copy is not None:
+            if copy.is_pc:
+                self.count("advise_at_pc_ignored")
+                return
+            self._drop_and_rejoin(proc, copy)
+            return
+        self._request_rejoin(
+            proc, node_id, action.level, action.key, action.pc_pid
+        )
+
+    def _drop_and_rejoin(self, proc: "Processor", copy: "NodeCopy") -> bool:
+        """Discard a structurally stale copy and re-join from the PC.
+
+        The dropped copy makes the PC's ``CreateCopy`` land on a
+        missing node (the duplicate-ignore guard would otherwise keep
+        the stale value), so the heal is a fresh original value --
+        exactly a first-time join.
+        """
+        engine = self.engine
+        node_id = copy.node_id
+        pending = proc.state.setdefault("joining", set())
+        if node_id in pending:
+            return False
+        del engine.store(proc)[node_id]
+        engine.trace.record_copy_deleted(
+            node_id, proc.pid, engine.now, reason="repair"
+        )
+        pending.add(node_id)
+        engine.kernel.route(
+            proc.pid,
+            copy.pc_pid,
+            JoinRequest(
+                node_id=node_id,
+                level=copy.level,
+                key=copy.range.low,
+                requester_pid=proc.pid,
+                exact=True,
+            ),
+        )
+        self.count("rejoins")
+        return True
+
+    def _request_rejoin(
+        self, proc: "Processor", node_id: int, level: int, key: Any, target: int
+    ) -> bool:
+        engine = self.engine
+        if not engine.protocol.supports_join:
+            self.count("unrepairable")
+            return False
+        if node_id in proc.state.get("unjoined", set()):
+            return False
+        pending = proc.state.setdefault("joining", set())
+        if node_id in pending:
+            return False
+        pending.add(node_id)
+        engine.kernel.route(
+            proc.pid,
+            target,
+            JoinRequest(
+                node_id=node_id,
+                level=level,
+                key=key,
+                requester_pid=proc.pid,
+                exact=True,
+            ),
+        )
+        self.count("rejoins")
+        return True
+
+    # ------------------------------------------------------------------
+    # orphan sweep (run each tick, before gossiping)
+    # ------------------------------------------------------------------
+    def sweep_orphans(self, proc: "Processor") -> None:
+        """Re-home mirrored leaves whose home processor is dead.
+
+        The detection path already does this on the failure signal;
+        the sweep catches mirrors that arrived *after* re-homing ran
+        (in-flight pushes from the dying home) so they cannot linger
+        as orphans forever.
+        """
+        engine = self.engine
+        controller = engine.kernel.crash_controller
+        mirrors = proc.state.get("mirror_store")
+        if controller is None or not mirrors:
+            return
+        dead_homes = {
+            home
+            for home, _snap in mirrors.values()
+            if not controller.is_alive(home)
+        }
+        for dead in dead_homes:
+            self.count("orphan_sweeps")
+            engine._rehome_mirrors(proc, dead)
+
+    def sweep_dead_members(self, proc: "Processor") -> None:
+        """Re-drive the forced unjoin of crashed members.
+
+        Detection force-unjoins a dead member from every primary copy
+        held at a live processor, but a PC that was itself down at
+        detection time never sees the failure signal: its donated
+        copies come back still declaring the dead peer.  The sweep
+        re-runs the protocol's own failure hook -- idempotent, since
+        members already unjoined are skipped -- so stale membership
+        converges instead of lingering until the next demand touch.
+        """
+        engine = self.engine
+        controller = engine.kernel.crash_controller
+        if controller is None:
+            return
+        dead = [
+            pid
+            for pid in engine.kernel.pids
+            if pid != proc.pid and not controller.is_alive(pid)
+        ]
+        if not dead:
+            return
+        declared = set()
+        for copy in engine.store(proc).values():
+            if not copy.is_pc or copy.retired:
+                continue
+            declared.update(pid for pid in dead if pid in copy.copy_versions)
+        if not declared:
+            return
+        proc.state.setdefault("dead_peers", set()).update(declared)
+        for pid in sorted(declared):
+            self.count("membership_sweeps")
+            engine.protocol.on_peer_failure(proc, pid)

@@ -107,6 +107,10 @@ class Processor:
         self._crashable = crashable
         self._alive = True
         self._service_token = 0
+        # Bumped on every restart; timer chains armed for a previous
+        # incarnation (e.g. repair gossip ticks) check it and die
+        # instead of double-firing alongside the restart's fresh chain.
+        self.incarnation = 0
         self._const_service: float | None
         if callable(service_time):
             self._service_time: ServiceTimeFn = service_time
@@ -238,3 +242,4 @@ class Processor:
         if self._alive:
             raise RuntimeError(f"processor {self.pid} is already up")
         self._alive = True
+        self.incarnation += 1

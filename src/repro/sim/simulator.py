@@ -84,6 +84,7 @@ class Kernel:
             raise ValueError("need at least one processor")
         self.events = EventQueue()
         self.rng = random.Random(seed)
+        self.seed = seed
         self.accounting = accounting
         self.network = Network(
             self.events,
@@ -111,6 +112,9 @@ class Kernel:
         self.peer_down_handlers: list[Callable[[int, int, list], None]] = []
         self.crash_plan = crash_plan
         self.crash_controller: CrashController | None = None
+        #: Set by :class:`repro.repair.repair.RepairService` when the
+        #: anti-entropy subsystem is installed (metrics find it here).
+        self.repair_service = None
         if crash_plan is not None:
             controller = CrashController(
                 self, crash_plan, random.Random(seed + 2)

@@ -14,6 +14,7 @@ from repro.stats.metrics import (
     message_summary,
     occupancy_histogram,
     reliability_summary,
+    repair_summary,
     replication_profile,
     search_locality,
     space_utilization,
@@ -37,6 +38,7 @@ __all__ = [
     "message_summary",
     "occupancy_histogram",
     "reliability_summary",
+    "repair_summary",
     "replication_profile",
     "update_read_ratio",
     "search_locality",

@@ -114,6 +114,59 @@ def availability_summary(
     return summary
 
 
+def repair_summary(
+    kernel: "Kernel", trace: "Trace | None" = None
+) -> dict[str, Any]:
+    """Anti-entropy repair accounting (X7 quantities).
+
+    Summarises the :class:`~repro.repair.repair.RepairService`
+    counters: gossip rounds started / found clean / found diverged /
+    aborted (peer crashed mid-round), digests exchanged and their
+    byte volume, repairs broken down by kind (update replays, mirror
+    refreshes and drops, leaf returns, structural rejoins), and
+    ``time_to_convergence`` -- the virtual-time gap between the last
+    observed divergence and quiescence (0.0 when nothing ever
+    diverged).  Returns ``{"enabled": False}`` when the subsystem is
+    not installed, so callers can embed it unconditionally.
+    """
+    service = getattr(kernel, "repair_service", None)
+    if service is None:
+        return {"enabled": False}
+    counters = service.counters
+    repairs_by_kind = {
+        kind: counters.get(kind, 0)
+        for kind in (
+            "updates_replayed",
+            "mirror_refreshes",
+            "mirror_drops",
+            "leaves_returned",
+            "rejoins",
+            "rejoin_advises",
+            "unjoins_resent",
+            "membership_sweeps",
+        )
+    }
+    last_dirty = service.last_divergence_time
+    return {
+        "enabled": True,
+        "placement": service.engine.mirror_placement.name,
+        "period": service.plan.period,
+        "fanout": service.plan.fanout,
+        "buckets": service.plan.buckets,
+        "rounds_started": counters.get("rounds_started", 0),
+        "rounds_clean": counters.get("rounds_clean", 0),
+        "rounds_diverged": counters.get("rounds_diverged", 0),
+        "rounds_aborted": counters.get("rounds_aborted", 0),
+        "digests_exchanged": counters.get("digests_sent", 0),
+        "digest_bytes": service.digest_bytes,
+        "repairs_by_kind": repairs_by_kind,
+        "repairs_total": sum(repairs_by_kind.values()),
+        "time_to_convergence": (
+            max(0.0, kernel.now - last_dirty) if last_dirty > 0.0 else 0.0
+        ),
+    }
+
+
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:
     """Messages per half-split, the Figure 5 / C4 quantity.
 

@@ -338,6 +338,103 @@ def check_crash_losses(engine: "DBTreeEngine") -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# digest convergence (anti-entropy audit)
+# ----------------------------------------------------------------------
+def check_digest_convergence(engine: "DBTreeEngine") -> list[str]:
+    """After a converged repair round, replicas must be digest-equal.
+
+    Audits the anti-entropy subsystem's own invariant with its own
+    digests (:mod:`repro.repair.digest`): every alive copy of a node
+    hashes identically, and -- when leaf mirroring is on -- every
+    single-copy leaf's mirror at an alive placement target is fresh
+    (digest-equal to the home copy), in-placement, and not stale
+    (holding a node its home no longer owns as a single-copy leaf).
+    Mirrors whose home is dead are excused: they are repair *input*
+    (the orphan sweep re-homes them), not divergence.
+    """
+    from repro.repair.digest import copy_digest, snapshot_digest
+
+    problems = []
+    controller = engine.kernel.crash_controller
+
+    def alive(pid: int) -> bool:
+        return controller is None or controller.is_alive(pid)
+
+    groups: dict[int, list[NodeCopy]] = {}
+    for copy in engine.all_copies():
+        if alive(copy.home_pid):
+            groups.setdefault(copy.node_id, []).append(copy)
+    for node_id, copies in sorted(groups.items()):
+        digests = {copy_digest(c) for c in copies}
+        if len(digests) > 1:
+            holders = sorted(c.home_pid for c in copies)
+            problems.append(
+                f"node {node_id}: replica digests diverge across "
+                f"pids {holders}"
+            )
+    if not getattr(engine, "_mirror_enabled", False):
+        return problems
+    for proc in engine.kernel.processors.values():
+        if not alive(proc.pid):
+            continue
+        mirrors = proc.state.get("mirror_store") or {}
+        for node_id, (home, snap) in sorted(mirrors.items()):
+            if not alive(home):
+                continue  # orphan awaiting the re-homing sweep
+            home_copy = next(
+                (c for c in groups.get(node_id, ()) if c.home_pid == home),
+                None,
+            )
+            if (
+                home_copy is None
+                or home_copy.retired
+                or not home_copy.is_leaf
+                or len(home_copy.copy_versions) != 1
+            ):
+                problems.append(
+                    f"pid {proc.pid}: stray mirror of node {node_id} "
+                    f"(pid {home} no longer homes it as a single-copy "
+                    "live leaf)"
+                )
+                continue
+            if proc.pid not in engine._mirror_targets(home, node_id):
+                problems.append(
+                    f"pid {proc.pid}: mirror of node {node_id} held "
+                    f"off-placement (home pid {home})"
+                )
+                continue
+            if snapshot_digest(snap) != copy_digest(home_copy):
+                problems.append(
+                    f"pid {proc.pid}: mirror of node {node_id} is stale "
+                    f"(digest mismatch vs home pid {home})"
+                )
+    for proc in engine.kernel.processors.values():
+        if not alive(proc.pid):
+            continue
+        for copy in engine.store(proc).values():
+            if (
+                not copy.is_leaf
+                or copy.retired
+                or len(copy.copy_versions) != 1
+            ):
+                continue
+            for target in engine._mirror_targets(proc.pid, copy.node_id):
+                if not alive(target):
+                    continue
+                holder = engine.kernel.processor(target)
+                entry = (holder.state.get("mirror_store") or {}).get(
+                    copy.node_id
+                )
+                if entry is None:
+                    problems.append(
+                        f"node {copy.node_id}: single-copy leaf at pid "
+                        f"{proc.pid} has no mirror at alive target "
+                        f"pid {target}"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
 # store/trace consistency
 # ----------------------------------------------------------------------
 def check_trace_store_agreement(engine: "DBTreeEngine") -> list[str]:
@@ -380,6 +477,10 @@ def check_all(
     report.extend("ordered", check_ordered_histories(trace))
     if getattr(engine, "_crash_enabled", False):
         report.extend("crash-losses", check_crash_losses(engine))
+    if getattr(engine, "repair", None) is not None:
+        report.extend(
+            "digest-convergence", check_digest_convergence(engine)
+        )
     if expected is not None:
         uncertain = {
             trace.operations[op_id].key

@@ -1,0 +1,501 @@
+"""Anti-entropy repair: digests, gossip, executor, and placement.
+
+Covers the :mod:`repro.repair` subsystem end to end: placement
+policies (ring parity, rendezvous determinism and spread), digest
+construction and edge cases (empty tree, single leaf, splits racing
+an exchange), gossip round lifecycle (dormancy, crashed-peer aborts),
+the repair executor (stale mirrors refreshed, tampered copies healed
+by replay/rejoin), the UnjoinAck drain, and the adjacent-pid crash
+regression that motivates rendezvous placement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import CrashPlan, DBTreeCluster, RepairPlan
+from repro.repair import (
+    PLACEMENTS,
+    RendezvousPlacement,
+    RingPlacement,
+    copy_digest,
+    combine,
+    make_placement,
+    rendezvous_weight,
+    snapshot_digest,
+)
+from repro.repair.gossip import DigestNodes
+from repro.verify.checker import check_digest_convergence
+
+
+def repair_cluster(
+    schedule=(),
+    seed=3,
+    num_processors=4,
+    replication_factor=2,
+    repair_period=150.0,
+    **kwargs,
+):
+    return DBTreeCluster(
+        num_processors=num_processors,
+        protocol="variable",
+        capacity=4,
+        seed=seed,
+        crash_plan=CrashPlan(schedule=schedule) if schedule else None,
+        op_timeout=3000.0 if schedule else None,
+        op_retries=5,
+        replication_factor=replication_factor,
+        repair_period=repair_period,
+        **kwargs,
+    )
+
+
+def spaced_inserts(cluster, count=120, spacing=10.0):
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = (index * 7) % 2003
+        expected[key] = index
+        cluster.schedule(
+            index * spacing, "insert", key, index,
+            client=pids[index % len(pids)],
+        )
+    return expected
+
+
+def stale_all_mirrors(cluster):
+    """Truncate every mirror snapshot by one entry (fault injection)."""
+    staled = 0
+    for proc in cluster.kernel.processors.values():
+        mirrors = proc.state.get("mirror_store") or {}
+        for node_id, (home, snap) in list(mirrors.items()):
+            if len(snap.keys) > 1:
+                mirrors[node_id] = (
+                    home,
+                    dataclasses.replace(
+                        snap,
+                        keys=snap.keys[:-1],
+                        payloads=snap.payloads[:-1],
+                    ),
+                )
+                staled += 1
+    return staled
+
+
+# ----------------------------------------------------------------------
+# placement policies
+# ----------------------------------------------------------------------
+class TestPlacement:
+    def test_ring_matches_pid_successors(self):
+        ring = RingPlacement()
+        pids = [0, 1, 2, 3]
+        assert ring.targets(1, 99, pids, 2) == (2,)
+        assert ring.targets(3, 99, pids, 2) == (0,)
+        assert ring.targets(1, 99, pids, 3) == (2, 3)
+        # node_id is irrelevant: one failure domain per home.
+        assert ring.targets(1, 7, pids, 2) == ring.targets(1, 1234, pids, 2)
+
+    def test_ring_factor_one_means_no_mirrors(self):
+        assert RingPlacement().targets(0, 5, [0, 1, 2], 1) == ()
+
+    def test_rendezvous_deterministic_and_excludes_home(self):
+        hrw = RendezvousPlacement()
+        pids = [0, 1, 2, 3, 4]
+        for node_id in range(50):
+            targets = hrw.targets(2, node_id, pids, 3)
+            assert targets == hrw.targets(2, node_id, pids, 3)
+            assert len(targets) == 2
+            assert 2 not in targets
+            assert len(set(targets)) == len(targets)
+
+    def test_rendezvous_spreads_over_all_peers(self):
+        hrw = RendezvousPlacement()
+        pids = [0, 1, 2, 3, 4]
+        first_targets = {
+            hrw.targets(0, node_id, pids, 2)[0] for node_id in range(200)
+        }
+        # Every non-home pid wins the draw for some leaf: no single
+        # failure domain pairs with home 0 for all its leaves.
+        assert first_targets == {1, 2, 3, 4}
+
+    def test_rendezvous_weight_is_process_stable(self):
+        assert rendezvous_weight(7, 3) == rendezvous_weight(7, 3)
+        assert rendezvous_weight(7, 3) != rendezvous_weight(7, 4)
+        assert rendezvous_weight(8, 3) != rendezvous_weight(7, 3)
+
+    def test_make_placement(self):
+        assert isinstance(make_placement("ring"), RingPlacement)
+        assert isinstance(make_placement("rendezvous"), RendezvousPlacement)
+        ring = RingPlacement()
+        assert make_placement(ring) is ring
+        assert set(PLACEMENTS) == {"ring", "rendezvous"}
+        with pytest.raises(ValueError, match="unknown mirror placement"):
+            make_placement("modular")
+
+
+# ----------------------------------------------------------------------
+# plan validation
+# ----------------------------------------------------------------------
+class TestRepairPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            RepairPlan(period=0.0)
+        with pytest.raises(ValueError, match="fanout"):
+            RepairPlan(fanout=0)
+        with pytest.raises(ValueError, match="bucket"):
+            RepairPlan(buckets=0)
+        with pytest.raises(ValueError, match="stop_after_clean"):
+            RepairPlan(stop_after_clean=0)
+
+    def test_cluster_knob_shorthand(self):
+        cluster = DBTreeCluster(
+            num_processors=2, protocol="variable",
+            repair_period=75.0, repair_fanout=1,
+        )
+        assert cluster.engine.repair is not None
+        assert cluster.engine.repair.plan.period == 75.0
+
+    def test_unknown_placement_rejected_at_build(self):
+        with pytest.raises(ValueError, match="unknown mirror placement"):
+            DBTreeCluster(num_processors=2, mirror_placement="hash")
+
+
+# ----------------------------------------------------------------------
+# digests
+# ----------------------------------------------------------------------
+class TestDigests:
+    def test_snapshot_digest_matches_copy_digest(self):
+        cluster = repair_cluster(repair_period=None)
+        for key in range(30):
+            cluster.insert(key, f"v{key}")
+        cluster.run()
+        checked = 0
+        for proc in cluster.kernel.processors.values():
+            for copy in cluster.engine.store(proc).values():
+                if not copy.is_leaf or copy.retired:
+                    continue
+                assert snapshot_digest(copy.snapshot()) == copy_digest(copy)
+                checked += 1
+        assert checked > 0
+
+    def test_entry_mutation_changes_digest_and_mut(self):
+        cluster = repair_cluster(repair_period=None)
+        cluster.insert(1, "a")
+        cluster.run()
+        proc = cluster.kernel.processors[0]
+        copy = next(
+            c for c in cluster.engine.store(proc).values() if c.is_leaf
+        )
+        before, mut_before = copy_digest(copy), copy.mut
+        copy.insert_entry(999, "z")
+        assert copy.mut > mut_before
+        assert copy_digest(copy) != before
+
+    def test_combine_is_order_independent(self):
+        rows = [(1, "C", 111), (2, "M", 222), (3, "C", 333)]
+        assert combine(rows) == combine(reversed(rows))
+        assert combine(rows) != combine(rows[:2])
+        assert combine(()) == combine([])
+
+    def test_digest_index_caches_until_mutation(self):
+        cluster = repair_cluster()
+        cluster.insert(1, "a")
+        cluster.run()
+        index = cluster.engine.repair.index
+        proc = cluster.kernel.processors[0]
+        copy = next(
+            c for c in cluster.engine.store(proc).values() if c.is_leaf
+        )
+        first = index.node_digest(0, copy)
+        assert index.node_digest(0, copy) == first == copy_digest(copy)
+        copy.insert_entry(998, "y")
+        assert index.node_digest(0, copy) != first
+
+    def test_empty_tree_gossips_clean(self):
+        cluster = repair_cluster()
+        cluster.run()  # no operations at all
+        summary = cluster.repair_summary()
+        assert summary["rounds_started"] > 0
+        assert summary["rounds_diverged"] == 0
+        assert cluster.check().ok
+
+    def test_single_leaf_gossips_clean(self):
+        cluster = repair_cluster()
+        cluster.insert(1, "only")
+        cluster.run()
+        summary = cluster.repair_summary()
+        assert summary["rounds_started"] > 0
+        assert summary["rounds_diverged"] == 0
+        assert cluster.check().ok
+
+
+# ----------------------------------------------------------------------
+# gossip rounds: dormancy, aborts, racing structure changes
+# ----------------------------------------------------------------------
+class TestGossipRounds:
+    def test_scheduler_goes_dormant_so_runs_quiesce(self):
+        cluster = repair_cluster()
+        spaced_inserts(cluster, count=60)
+        cluster.run()  # would raise QuiescenceError if gossip ping-ponged
+        counters = cluster.engine.repair.counters
+        assert counters.get("gossip_dormant", 0) > 0
+
+    def test_round_with_crashed_peer_aborts_cleanly(self):
+        cluster = repair_cluster(schedule=((2, 800.0, None),))
+        spaced_inserts(cluster, count=60)
+        service = cluster.engine.repair
+
+        def force_round_to_dead_peer():
+            # Open a round against the long-dead pid 2: the offer is
+            # dead-lettered and no reply ever arrives.
+            service.scheduler.begin_round(cluster.kernel.processors[0], 2)
+            service.scheduler.wake_all()
+
+        cluster.kernel.events.schedule(2000.0, force_round_to_dead_peer)
+        cluster.run()
+        counters = service.counters
+        assert counters.get("rounds_aborted", 0) >= 1
+        # The executor never saw the aborted round: every open round
+        # was expired or closed, not dead-lettered into repairs.
+        assert not service.scheduler._open
+        assert cluster.check().ok
+
+    def test_initiator_crash_aborts_its_open_rounds(self):
+        cluster = repair_cluster()
+        cluster.insert(1, "a")
+        cluster.run()
+        service = cluster.engine.repair
+        service.scheduler.begin_round(cluster.kernel.processors[1], 0)
+        assert service.scheduler._open
+        service.scheduler.on_processor_crash(1)
+        assert not service.scheduler._open
+        assert service.counters.get("rounds_aborted", 0) >= 1
+
+    def test_stale_digest_nodes_for_split_or_unknown_node(self):
+        """A DigestNodes computed before a half-split (or for a node
+        that no longer exists) must resolve without damage."""
+        cluster = repair_cluster()
+        spaced_inserts(cluster, count=60)
+        service = cluster.engine.repair
+
+        def deliver_stale_drilldown():
+            bogus = 10_000  # never allocated
+            buckets = tuple(range(service.plan.buckets))
+            proc = cluster.kernel.processors[0]
+            service.execute_repairs(
+                proc,
+                DigestNodes(
+                    src_pid=1,
+                    round_id=999_999,
+                    buckets=buckets,
+                    entries=(
+                        (bogus, "C", 123, 1, 500),
+                        (bogus + 1, "M", 456, 0, 700),
+                        (bogus + 2, "L", 789, 0, 900),
+                    ),
+                ),
+            )
+
+        cluster.kernel.events.schedule(900.0, deliver_stale_drilldown)
+        cluster.run()
+        report = cluster.check()
+        assert report.ok, report.problems
+        # The unknown-mirror probe asked pid 1 for a leaf it cannot
+        # return; the guard counted it instead of fabricating state.
+        assert service.counters.get("returns_unavailable", 0) >= 1
+
+    def test_half_splits_racing_digest_exchanges(self):
+        """Gossip on a period much shorter than the insert spacing so
+        rounds interleave with live half-splits: digests computed
+        before a split arrive after it, and the exchange must neither
+        corrupt the tree nor manufacture phantom repairs."""
+        cluster = repair_cluster(repair_period=25.0)
+        spaced_inserts(cluster, count=120, spacing=10.0)
+        cluster.run()
+        service = cluster.engine.repair
+        assert service.counters.get("rounds_started", 0) > 10
+        report = cluster.check()
+        assert report.ok, report.problems
+        assert not check_digest_convergence(cluster.engine)
+
+
+# ----------------------------------------------------------------------
+# repair executor: convergence after injected divergence
+# ----------------------------------------------------------------------
+class TestRepairConvergence:
+    @pytest.mark.parametrize("placement", ["ring", "rendezvous"])
+    def test_stale_mirrors_converge(self, placement):
+        cluster = repair_cluster(
+            schedule=((1, 900.0, 1700.0),), mirror_placement=placement
+        )
+        spaced_inserts(cluster)
+        staled = []
+
+        def inject():
+            staled.append(stale_all_mirrors(cluster))
+            cluster.engine.repair.kick()
+
+        cluster.kernel.events.schedule(2400.0, inject)
+        cluster.run()
+        assert staled[0] > 0
+        report = cluster.check()
+        assert report.ok, report.problems
+        assert not check_digest_convergence(cluster.engine)
+        summary = cluster.repair_summary()
+        assert summary["repairs_by_kind"]["mirror_refreshes"] > 0
+
+    def test_without_repair_same_injection_is_detected_divergence(self):
+        cluster = repair_cluster(
+            schedule=((1, 900.0, 1700.0),), repair_period=None
+        )
+        spaced_inserts(cluster)
+        staled = []
+        cluster.kernel.events.schedule(
+            2400.0, lambda: staled.append(stale_all_mirrors(cluster))
+        )
+        cluster.run()
+        assert staled[0] > 0
+        problems = check_digest_convergence(cluster.engine)
+        assert problems
+        assert any("stale" in p for p in problems)
+
+    def test_tampered_interior_copy_is_healed(self):
+        cluster = repair_cluster(schedule=((1, 5000.0, 5100.0),))
+        spaced_inserts(cluster)
+        tampered = []
+
+        def tamper():
+            for proc in cluster.kernel.processors.values():
+                for copy in cluster.engine.store(proc).values():
+                    if (
+                        copy.retired
+                        or copy.is_pc
+                        or len(copy.copy_versions) < 2
+                        or not copy.keys()
+                    ):
+                        continue
+                    copy.delete_entry(copy.keys()[0])
+                    tampered.append((proc.pid, copy.node_id))
+                    cluster.engine.repair.kick()
+                    return
+
+        cluster.kernel.events.schedule(2400.0, tamper)
+        cluster.run()
+        assert tampered, "no replicated non-PC interior copy to tamper"
+        assert not check_digest_convergence(cluster.engine)
+        counters = cluster.engine.repair.counters
+        assert (
+            counters.get("copy_pulls", 0)
+            + counters.get("rejoins", 0)
+            + counters.get("rejoin_advises", 0)
+        ) > 0
+
+    def test_runtime_placement_migration(self):
+        cluster = repair_cluster(schedule=((1, 9000.0, 9100.0),))
+        spaced_inserts(cluster, count=80)
+        cluster.kernel.events.schedule(
+            1500.0,
+            lambda: cluster.engine.set_mirror_placement("rendezvous"),
+        )
+        cluster.run()
+        assert cluster.engine.mirror_placement.name == "rendezvous"
+        assert cluster.trace.counters.get("mirror_migrations", 0) > 0
+        # The digest-convergence audit verifies mirrors now live at
+        # the *rendezvous* targets (off-placement mirrors would fail).
+        report = cluster.check()
+        assert report.ok, report.problems
+
+
+# ----------------------------------------------------------------------
+# UnjoinAck: the pending-unjoin stash drains at quiescence
+# ----------------------------------------------------------------------
+class TestUnjoinAck:
+    def test_unjoin_request_is_acked_and_drained(self):
+        cluster = repair_cluster(
+            schedule=((1, 9000.0, 9100.0),), repair_period=None
+        )
+        spaced_inserts(cluster, count=120)
+        cluster.run()
+        # Unjoin a non-PC interior copy: with a crash plan active the
+        # leaver records a pending entry until the PC's UnjoinAck.
+        leaver = None
+        for proc in cluster.kernel.processors.values():
+            if proc.pid == 0:
+                continue
+            for copy in cluster.engine.store(proc).values():
+                if not copy.is_leaf and not copy.is_pc and not copy.retired:
+                    cluster.engine.protocol.request_unjoin(proc, copy)
+                    leaver = proc
+                    break
+            if leaver is not None:
+                break
+        assert leaver is not None
+        assert leaver.state.get("pending_unjoins"), (
+            "crash-enabled unjoin must record a pending entry until "
+            "the ack arrives"
+        )
+        cluster.run()
+        assert cluster.trace.counters.get("unjoins_requested", 0) > 0
+        assert cluster.trace.counters.get("unjoin_acks", 0) > 0
+        for proc in cluster.kernel.processors.values():
+            assert not proc.state.get("pending_unjoins"), (
+                f"pid {proc.pid} still holds un-acked unjoins at "
+                "quiescence"
+            )
+
+    def test_crash_scenario_stash_drains(self):
+        cluster = repair_cluster(schedule=((1, 400.0, 900.0), (2, 1500.0, 2300.0)))
+        spaced_inserts(cluster, count=120)
+        cluster.run()
+        assert cluster.check().ok
+        for proc in cluster.kernel.processors.values():
+            assert not proc.state.get("pending_unjoins")
+
+
+# ----------------------------------------------------------------------
+# the adjacent-pid crash regression (why rendezvous placement exists)
+# ----------------------------------------------------------------------
+class TestAdjacentCrashRegression:
+    # The home processor (pid 0, where every leaf lives) and its ring
+    # successor (pid 1, where ring placement puts every mirror) crash
+    # together: under ring placement each leaf loses its only copy and
+    # its only mirror at once, and not even pid 0's restart can bring
+    # them back.  Rendezvous placement spreads the same leaves' mirrors
+    # over the whole membership, so the survivors re-home every leaf
+    # and the restarted home converges to a fully clean audit.
+    SCHEDULE = ((0, 2000.0, 3000.0), (1, 2000.0, None))
+    SEED = 5
+    PROCS = 8
+
+    def build(self, placement):
+        cluster = repair_cluster(
+            schedule=self.SCHEDULE,
+            seed=self.SEED,
+            num_processors=self.PROCS,
+            repair_period=100.0,
+            mirror_placement=placement,
+        )
+        expected = spaced_inserts(cluster, count=16, spacing=10.0)
+        return cluster, expected
+
+    def test_ring_placement_loses_leaves(self):
+        cluster, _expected = self.build("ring")
+        cluster.run(max_events=2_000_000)
+        report = cluster.check()
+        losses = [p for p in report.problems if "destroyed by" in p]
+        assert losses, (
+            "expected the adjacent-pid crash to destroy ring-mirrored "
+            f"leaves; problems: {report.problems}"
+        )
+        assert cluster.trace.counters.get("leaves_rehomed", 0) == 0
+
+    def test_rendezvous_same_seed_audits_clean(self):
+        cluster, expected = self.build("rendezvous")
+        cluster.run(max_events=2_000_000)
+        report = cluster.check(expected=expected)
+        assert report.ok, report.problems
+        assert cluster.trace.counters.get("leaves_rehomed", 0) > 0
+        service = cluster.kernel.repair_service
+        assert service.counters.get("membership_sweeps", 0) > 0
