@@ -1,0 +1,146 @@
+"""Experiment X8 (extension) -- permutation-replay convergence check.
+
+Theorem 2 promises order-independence: every delivery schedule the
+reliable FIFO network can produce converges all copies to the same
+state.  One simulation run tests one schedule; X8 tests a
+neighbourhood.  The :mod:`repro.sim.permute` layer performs seeded
+swaps of deliveries the commutativity registry
+(:mod:`repro.core.commutativity`) claims commute, and
+:mod:`repro.verify.permute` replays several permuted schedules per
+workload seed and compares the converged key/value content -- plus
+the per-replica-group digests -- to the canonical run's.
+
+Every protocol is audited over the same seeds.  The four correct
+protocols must converge on every permuted schedule; ``naive`` -- the
+semi-synchronous protocol minus its history rewrite, i.e. a live
+violation of the paper's item-4 non-commuting pair (initial
+half-split vs relayed insert) -- must be flagged on every seed, and
+its divergences delta-debug down to single-digit hold sets whose swap
+records name the offending relayed insert.
+
+Reported per protocol: seeds converged / flagged, permuted schedules
+replayed, total swaps executed, divergent rounds, and the size of the
+minimized hold set for the first divergence (0 when none).
+"""
+
+from common import emit
+from repro.stats import format_table
+from repro.verify.permute import permutation_audit
+
+SEEDS = (0, 1, 2)
+ROUNDS = 4
+
+#: (protocol, expect_divergence)
+SCENARIOS = [
+    ("semisync", False),
+    ("sync", False),
+    ("mobile", False),
+    ("variable", False),
+    ("naive", True),
+]
+
+
+def measure(protocol, seed):
+    """One audit: verdict plus swap/minimization accounting."""
+    report = permutation_audit(protocol, seed, rounds=ROUNDS)
+    first_minimized = next(
+        (r.minimized for r in report.rounds if r.minimized), None
+    )
+    return {
+        "ok": report.ok,
+        "detected": report.detected,
+        "rounds": len(report.rounds),
+        "swaps": sum(len(r.swaps) for r in report.rounds),
+        "diverged_rounds": sum(r.diverged for r in report.rounds),
+        "minimal_holds": (
+            len(first_minimized["holds"]) if first_minimized else 0
+        ),
+    }
+
+
+def sweep() -> list[dict]:
+    """All protocols over all seeds."""
+    cells = []
+    for protocol, expect_divergence in SCENARIOS:
+        runs = [measure(protocol, seed) for seed in SEEDS]
+        cells.append(
+            {
+                "protocol": protocol,
+                "expect_divergence": expect_divergence,
+                "converged": sum(r["ok"] for r in runs),
+                "flagged": sum(r["detected"] for r in runs),
+                "seeds": len(SEEDS),
+                "schedules": sum(r["rounds"] for r in runs),
+                "swaps": sum(r["swaps"] for r in runs),
+                "diverged_rounds": sum(r["diverged_rounds"] for r in runs),
+                "minimal_holds": max(r["minimal_holds"] for r in runs),
+            }
+        )
+    return cells
+
+
+def run_experiment() -> str:
+    rows = []
+    for cell in sweep():
+        verdict = (
+            f"flagged {cell['flagged']}/{cell['seeds']}"
+            if cell["expect_divergence"]
+            else f"converged {cell['converged']}/{cell['seeds']}"
+        )
+        rows.append(
+            [
+                cell["protocol"],
+                verdict,
+                cell["schedules"],
+                cell["swaps"],
+                cell["diverged_rounds"],
+                cell["minimal_holds"] or "-",
+            ]
+        )
+    table = format_table(
+        [
+            "protocol",
+            "verdict",
+            "permuted schedules",
+            "swaps",
+            "diverged rounds",
+            "minimized holds",
+        ],
+        rows,
+        title=(
+            "X8: permutation-replay checker -- seeded swaps of "
+            "claimed-commuting deliveries; the four correct protocols "
+            "converge to the canonical run's content on every permuted "
+            "schedule, while naive (no history rewrite: a live "
+            "violation of the paper's item-4 non-commuting pair) is "
+            "flagged on every seed and the divergence delta-debugs to "
+            "a handful of holds naming the dropped relayed insert "
+            "(totals over three seeds)"
+        ),
+    )
+    return emit("x8_permutation", table)
+
+
+def test_x8_permutation(benchmark):
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_protocol = {cell["protocol"]: cell for cell in cells}
+
+    # Correct protocols: clean on every seed, and the pass is not
+    # vacuous -- swaps really were executed (mobile is the exception:
+    # single-copy, no relayed traffic to swap).
+    for name in ("semisync", "sync", "variable"):
+        cell = by_protocol[name]
+        assert cell["converged"] == cell["seeds"], cell
+        assert cell["swaps"] > 0, cell
+    assert by_protocol["mobile"]["converged"] == 3, by_protocol["mobile"]
+
+    # The known-broken control is flagged on every seed and the
+    # divergence minimizes to a small schedule.
+    naive = by_protocol["naive"]
+    assert naive["flagged"] == naive["seeds"], naive
+    assert 0 < naive["minimal_holds"] <= 6, naive
+    run_experiment()
+
+
+if __name__ == "__main__":
+    run_experiment()

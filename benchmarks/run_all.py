@@ -39,6 +39,7 @@ EXPERIMENTS = [
     ("x5", "bench_x5_reliable_delivery"),
     ("x6", "bench_x6_crash_recovery"),
     ("x7", "bench_x7_anti_entropy"),
+    ("x8", "bench_x8_permutation"),
 ]
 
 

@@ -9,6 +9,11 @@ Commands
     The same for the lazy distributed hash table.
 ``protocols``
     List the available replica-maintenance protocols.
+``permute``
+    Run the permutation-replay checker: replay permuted delivery
+    schedules and assert convergence to the canonical run (see
+    :mod:`repro.verify.permute`); ``--selftest`` proves the checker
+    catches the paper's item-4 non-commuting pair.
 ``bench``
     Run the standard insert-burst throughput benchmark and write
     ``BENCH_core.json`` (see :mod:`repro.perf`).
@@ -169,6 +174,57 @@ def _cmd_hash_demo(args: argparse.Namespace) -> int:
     )
     print("audit:", report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_permute(args: argparse.Namespace) -> int:
+    from repro.verify.permute import checker_selftest, permutation_audit
+
+    if args.selftest:
+        report = checker_selftest(
+            seeds=tuple(args.permute_seeds), rounds=args.permute_rounds
+        )
+        print("selftest:", report.summary())
+        return 0 if report.ok else 1
+
+    exit_code = 0
+    for seed in args.permute_seeds:
+        report = permutation_audit(
+            args.protocol,
+            seed,
+            rounds=args.permute_rounds,
+            rate=args.rate,
+            window=args.window,
+            ops=args.ops,
+            minimize=not args.no_minimize,
+        )
+        print(report.summary())
+        for round_result in report.rounds:
+            if not round_result.diverged:
+                continue
+            for problem in round_result.problems:
+                print(f"  round {round_result.round_index}: {problem}")
+            minimized = round_result.minimized
+            if minimized:
+                print(
+                    f"  round {round_result.round_index} minimized to "
+                    f"holds={minimized['holds']} "
+                    f"pairs={minimized['pairs']}"
+                )
+                culprits = minimized["culprits"]
+                for culprit in culprits[:5]:
+                    print(
+                        f"    culprit @t={culprit['time']:.0f} "
+                        f"dst={culprit['dst']}: delayed "
+                        f"{culprit['delayed']} behind {culprit['overtook']}"
+                    )
+                if len(culprits) > 5:
+                    print(
+                        f"    ... and {len(culprits) - 5} more swaps "
+                        f"delaying the same action(s)"
+                    )
+        if not report.ok:
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_protocols(_args: argparse.Namespace) -> int:
@@ -346,6 +402,43 @@ def build_parser() -> argparse.ArgumentParser:
     hash_demo.add_argument("--inserts", type=int, default=200)
     hash_demo.add_argument("--seed", type=int, default=0)
     hash_demo.set_defaults(func=_cmd_hash_demo)
+
+    permute = subparsers.add_parser(
+        "permute", help="run the permutation-replay convergence checker"
+    )
+    permute.add_argument("--protocol", default="semisync")
+    permute.add_argument(
+        "--permute-seeds", type=int, nargs="+", default=[0, 1, 2],
+        metavar="SEED",
+        help="workload seeds to audit (each gets its own canonical run)",
+    )
+    permute.add_argument(
+        "--permute-rounds", type=int, default=6,
+        help="permuted schedules replayed per seed",
+    )
+    permute.add_argument(
+        "--rate", type=float, default=0.3,
+        help="fraction of swappable deliveries held for overtaking",
+    )
+    permute.add_argument(
+        "--window", type=float, default=35.0,
+        help="maximum virtual time a held delivery waits",
+    )
+    permute.add_argument(
+        "--ops", type=int, default=48,
+        help="workload size (phase-1 inserts; phase 2 adds ops/4 "
+        "delete/insert pairs)",
+    )
+    permute.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip delta-debugging divergent rounds",
+    )
+    permute.add_argument(
+        "--selftest", action="store_true",
+        help="prove the checker catches the paper's item-4 pair "
+        "(registry rejection + live naive-protocol detection)",
+    )
+    permute.set_defaults(func=_cmd_permute)
 
     protocols = subparsers.add_parser("protocols", help="list protocols")
     protocols.set_defaults(func=_cmd_protocols)

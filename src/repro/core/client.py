@@ -33,6 +33,7 @@ from repro.core.replication import ReplicationPolicy
 from repro.sim.crash import CrashPlan
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.permute import PermutePlan
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.sim.simulator import Kernel
 from repro.sim.tracing import OperationRecord, Trace
@@ -174,6 +175,15 @@ class DBTreeCluster:
         Full :class:`~repro.repair.RepairPlan` for fine tuning
         (buckets, dormancy, log cap); overrides ``repair_period`` /
         ``repair_fanout``.
+    permute_plan:
+        Optional :class:`~repro.sim.permute.PermutePlan` turning on
+        the schedule permuter: seeded swaps of deliveries the
+        commutativity registry (:mod:`repro.core.commutativity`)
+        claims commute, used by the permutation-replay checker
+        (:mod:`repro.verify.permute`).  Incompatible with
+        ``fault_plan``, ``crash_plan``, ``relay_batch_window``, and
+        enforced reliability; ``None`` (default) keeps the delivery
+        fast path byte-identical.
     """
 
     def __init__(
@@ -203,6 +213,7 @@ class DBTreeCluster:
         repair_period: float | None = None,
         repair_fanout: int = 1,
         repair_plan: Any | None = None,
+        permute_plan: PermutePlan | None = None,
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -226,6 +237,29 @@ class DBTreeCluster:
                     "protocol relies on donors having drained the dead "
                     "window's traffic before a restart is announced"
                 )
+        if permute_plan is not None:
+            if fault_plan is not None:
+                raise ValueError(
+                    "permute_plan is incompatible with fault_plan: a "
+                    "fault verdict would confound which swaps caused a "
+                    "divergence"
+                )
+            if crash_plan is not None:
+                raise ValueError(
+                    "permute_plan is incompatible with crash_plan: "
+                    "dead-letter verdicts make permuted schedules "
+                    "incomparable"
+                )
+            if reliability != "assumed":
+                raise ValueError(
+                    "permute_plan requires reliability='assumed' (the "
+                    "reliable transport owns ordering in enforced mode)"
+                )
+            if relay_batch_window is not None:
+                raise ValueError(
+                    "permute_plan is incompatible with relay_batch_window: "
+                    "the batcher already reorders relays at the sender"
+                )
         if repair_plan is None and repair_period is not None:
             from repro.repair import RepairPlan
 
@@ -241,7 +275,12 @@ class DBTreeCluster:
             reliability=reliability,
             reliability_config=reliability_config,
             crash_plan=crash_plan,
+            permute_plan=permute_plan,
         )
+        if self.kernel.permuter is not None:
+            from repro.core.commutativity import claims_for
+
+            self.kernel.permuter.bind_claims(claims_for(self.protocol.name))
         self.engine = DBTreeEngine(
             kernel=self.kernel,
             protocol=self.protocol,
@@ -440,6 +479,16 @@ class DBTreeCluster:
         from repro.stats.metrics import repair_summary
 
         return repair_summary(self.kernel, self.trace)
+
+    def permutation_summary(self) -> dict[str, Any]:
+        """Schedule-permuter accounting; see repro.stats."""
+        from repro.stats.metrics import permutation_summary
+
+        return permutation_summary(self.kernel)
+
+    def seed_summary(self) -> dict[str, int]:
+        """Every seeded stream this run used, from the kernel ledger."""
+        return self.kernel.seeds.snapshot()
 
     def cache_stats(self) -> dict[str, Any]:
         """Leaf-location cache accounting; see DBTreeEngine.leaf_cache_stats."""

@@ -232,9 +232,15 @@ def find_compatible_rearrangement(
         a.uniform() for a in reference.update_actions(semantics)
     ]
     _target_final, original_subsequents = target.replay(semantics)
-    original_by_action = dict(zip(target.actions, original_subsequents))
-    for ordering in permutations(target.actions):
-        candidate = History(initial_value=target.initial_value, actions=ordering)
+    # Permute *positions*, not the actions themselves: a history may
+    # legally contain duplicate actions (idempotent re-issue, repeated
+    # searches), and keying subsequent sets by action identity would
+    # alias all duplicates to whichever replay entry came last.
+    for ordering in permutations(range(len(target.actions))):
+        candidate = History(
+            initial_value=target.initial_value,
+            actions=tuple(target.actions[pos] for pos in ordering),
+        )
         try:
             final, subsequents = candidate.replay(semantics)
         except InvalidHistoryError:
@@ -247,8 +253,8 @@ def find_compatible_rearrangement(
         if sequence != reference_sequence:
             continue
         if any(
-            issued != original_by_action[action]
-            for action, issued in zip(ordering, subsequents)
+            issued != original_subsequents[original_pos]
+            for original_pos, issued in zip(ordering, subsequents)
         ):
             continue
         return candidate
@@ -312,6 +318,11 @@ class SimpleNodeSemantics:
       key and issues relays to peers.  RELAYED: always valid; adds the
       key if in range, otherwise a silent no-op (discard), issuing no
       subsequent actions (paper, Section 4.1 item 3).
+    * ``delete`` (key) -- the never-merge extension's mirror image of
+      insert: INITIAL valid iff key in range, removes it and relays;
+      RELAYED always valid, removes the key if in range (a no-op when
+      the key is absent -- which is exactly why a relayed delete does
+      *not* commute with a relayed insert of the same key).
     * ``half_split`` ((separator, sibling_id)) -- INITIAL: valid iff
       the separator is strictly inside the range; keeps keys below the
       separator, sets right to the sibling, and issues subsequent
@@ -322,7 +333,7 @@ class SimpleNodeSemantics:
       and re-points right, issuing nothing.
     """
 
-    UPDATE_NAMES = frozenset({"insert", "half_split"})
+    UPDATE_NAMES = frozenset({"insert", "delete", "half_split"})
 
     def is_update(self, action: HAction) -> bool:
         return action.name in self.UPDATE_NAMES
@@ -332,6 +343,8 @@ class SimpleNodeSemantics:
             raise TypeError(f"SimpleNodeSemantics needs SimpleNode, got {value!r}")
         if action.name == "insert":
             return self._apply_insert(value, action)
+        if action.name == "delete":
+            return self._apply_delete(value, action)
         if action.name == "half_split":
             return self._apply_half_split(value, action)
         if action.name == "search":
@@ -356,6 +369,24 @@ class SimpleNodeSemantics:
             return ApplyResult(value=node, subsequent=frozenset())
         return ApplyResult(
             value=replace(node, keys=node.keys | {key}), subsequent=frozenset()
+        )
+
+    def _apply_delete(self, node: SimpleNode, action: HAction) -> ApplyResult | None:
+        key = action.param
+        in_range = node.range.contains(key)
+        if action.mode is Mode.INITIAL:
+            if not in_range:
+                return None  # invalid at this copy (must route right)
+            return ApplyResult(
+                value=replace(node, keys=node.keys - {key}),
+                subsequent=frozenset({("relay_delete", key, action.action_id)}),
+            )
+        # Relayed delete: always valid; out-of-range or absent keys
+        # are silent no-ops, no subsequent actions either way.
+        if not in_range:
+            return ApplyResult(value=node, subsequent=frozenset())
+        return ApplyResult(
+            value=replace(node, keys=node.keys - {key}), subsequent=frozenset()
         )
 
     def _apply_half_split(

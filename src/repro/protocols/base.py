@@ -77,6 +77,19 @@ class Protocol:
             raise RuntimeError(f"protocol {self.name} not bound to an engine")
         return self.engine
 
+    def commutativity(self):
+        """This protocol's declared commutativity claims.
+
+        The registry entry (:mod:`repro.core.commutativity`) stating
+        which relayed-action pairs the protocol claims commute; the
+        schedule permuter consults it, and the permutation-replay
+        checker (:mod:`repro.verify.permute`) tests the live engine
+        against it.
+        """
+        from repro.core.commutativity import claims_for
+
+        return claims_for(self.name)
+
     # ------------------------------------------------------------------
     # admission control (overridden by the vigorous baseline)
     # ------------------------------------------------------------------

@@ -139,7 +139,10 @@ class RepairService:
         self.index = DigestIndex()
         self.counters: dict[str, int] = {}
         self.digest_bytes = 0
-        self.scheduler = GossipScheduler(self, seed=engine.kernel.seed + 3)
+        self.scheduler = GossipScheduler(
+            self,
+            seed=engine.kernel.seeds.register("gossip", engine.kernel.seed + 3),
+        )
         engine.add_extra_handler(self.handle)
         controller = engine.kernel.crash_controller
         if controller is not None:

@@ -224,7 +224,17 @@ class Network:
             )
         self._events = events
         self._latency_model = latency_model or UniformLatency()
-        self._rng = rng or random.Random(0)
+        if rng is None:
+            # Standalone construction (unit tests, ad-hoc tools): a
+            # fixed default is fine, but never *silent* -- the seed is
+            # recorded here so a run can report every stream it used.
+            # The kernel always passes an rng derived from the root
+            # seed and records it in its own seed ledger.
+            self.rng_seed: int | None = 0
+            rng = random.Random(0)
+        else:
+            self.rng_seed = None  # caller-owned; recorded by the caller
+        self._rng = rng
         self._fault_plan = fault_plan
         self._deliver: Callable[[int, Any], None] | None = None
         self.accounting = accounting
@@ -249,6 +259,9 @@ class Network:
         self._liveness: Callable[[int], bool] | None = None
         self._dead_policy = "drop"
         self._bounce: Callable[[int, int, Any], None] | None = None
+        # Schedule permuter (repro.sim.permute), installed only by the
+        # permutation-replay checker; None keeps the fast path intact.
+        self._permuter = None
         self.stats = NetworkStats()
 
     def install_delivery(self, deliver: Callable[[int, Any], None]) -> None:
@@ -269,9 +282,35 @@ class Network:
         frames are always discarded -- retransmission and suspicion
         are the reliable layer's problem).
         """
+        if self._permuter is not None:
+            raise ValueError(
+                "crash liveness and the schedule permuter are mutually "
+                "exclusive: dead-letter verdicts would make permuted "
+                "schedules incomparable"
+            )
         self._liveness = liveness
         self._dead_policy = dead_peer_policy
         self._bounce = bounce
+
+    def install_permuter(self, permuter: Any) -> None:
+        """Route deliveries through a schedule permuter.
+
+        Only legal on the paper's reliable network: fault plans,
+        enforced reliability, and crash liveness each already change
+        delivery order or fate, which would confound the permuter's
+        claim that any state divergence is caused by its swaps.
+        """
+        if self.transport is not None:
+            raise ValueError(
+                "schedule permuter requires reliability='assumed' "
+                "(the reliable transport owns ordering in enforced mode)"
+            )
+        if self._fault_plan is not None:
+            raise ValueError("schedule permuter is incompatible with a fault plan")
+        if self._liveness is not None:
+            raise ValueError("schedule permuter is incompatible with a crash plan")
+        self._permuter = permuter
+        permuter.install_deliver(self._fire)
 
     def reset_stats(self) -> None:
         """Zero the accounting counters (e.g. after a warm-up phase)."""
@@ -322,7 +361,11 @@ class Network:
                 arrival = floor
             clock[channel] = arrival
             if self._liveness is None:
-                events.push(arrival, partial(self._fire, dst, payload))
+                permuter = self._permuter
+                if permuter is None:
+                    events.push(arrival, partial(self._fire, dst, payload))
+                else:
+                    events.push(arrival, partial(permuter.on_arrival, dst, payload))
             else:
                 events.push(arrival, partial(self._fire_checked, src, dst, payload))
             return

@@ -16,8 +16,10 @@ from repro.sim.crash import CrashController, CrashPlan
 from repro.sim.events import EventQueue
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, Network, UniformLatency
+from repro.sim.permute import PermutePlan, SchedulePermuter
 from repro.sim.processor import Processor, ServiceTimeFn
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
+from repro.sim.rngs import SeedLedger
 
 
 class QuiescenceError(RuntimeError):
@@ -62,6 +64,14 @@ class Kernel:
         dead letters), and :attr:`crash_controller` executes the plan
         and collects availability records.  ``None`` (default) keeps
         every hook uninstalled: the fast path is untouched.
+    permute_plan:
+        Optional :class:`~repro.sim.permute.PermutePlan`.  Installs
+        the schedule permuter on the network delivery path: seeded
+        swaps of deliveries the commutativity registry claims
+        commute, for the permutation-replay checker
+        (:mod:`repro.verify.permute`).  Incompatible with fault
+        plans, crash plans, and enforced reliability.  ``None``
+        (default) keeps the fast path byte-identical.
     """
 
     #: Default guard on run length; large enough for every experiment
@@ -79,22 +89,38 @@ class Kernel:
         reliability: str = "assumed",
         reliability_config: ReliabilityConfig | None = None,
         crash_plan: CrashPlan | None = None,
+        permute_plan: PermutePlan | None = None,
     ) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
         self.events = EventQueue()
         self.rng = random.Random(seed)
         self.seed = seed
+        #: Record of every seeded stream this run uses.  The legacy
+        #: integer offsets (network = seed + 1, crash = seed + 2,
+        #: gossip = seed + 3) are kept byte-identical for the pinned
+        #: traces, but each is registered here so no stream is ever
+        #: seeded silently; new streams use :func:`~repro.sim.rngs
+        #: .derive_seed` names instead of collision-prone offsets.
+        self.seeds = SeedLedger(root=seed)
+        self.seeds.register("root", seed)
         self.accounting = accounting
         self.network = Network(
             self.events,
             latency_model=latency_model or UniformLatency(),
-            rng=random.Random(seed + 1),
+            rng=random.Random(self.seeds.register("network", seed + 1)),
             fault_plan=fault_plan,
             accounting=accounting,
             reliability=reliability,
             reliability_config=reliability_config,
         )
+        #: Schedule permuter (permutation-replay checker); None keeps
+        #: the delivery fast path byte-identical.
+        self.permuter: SchedulePermuter | None = None
+        if permute_plan is not None:
+            self.permuter = SchedulePermuter(permute_plan, self.events)
+            self.network.install_permuter(self.permuter)
+            self.seeds.register("permute", permute_plan.seed)
         crashable = crash_plan is not None
         self.processors: dict[int, Processor] = {
             pid: Processor(
@@ -117,7 +143,7 @@ class Kernel:
         self.repair_service = None
         if crash_plan is not None:
             controller = CrashController(
-                self, crash_plan, random.Random(seed + 2)
+                self, crash_plan, random.Random(self.seeds.register("crash", seed + 2))
             )
             self.crash_controller = controller
             self.network.install_liveness(

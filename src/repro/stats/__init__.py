@@ -13,6 +13,7 @@ from repro.stats.metrics import (
     load_balance,
     message_summary,
     occupancy_histogram,
+    permutation_summary,
     reliability_summary,
     repair_summary,
     replication_profile,
@@ -37,6 +38,7 @@ __all__ = [
     "load_balance",
     "message_summary",
     "occupancy_histogram",
+    "permutation_summary",
     "reliability_summary",
     "repair_summary",
     "replication_profile",

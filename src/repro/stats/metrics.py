@@ -167,6 +167,26 @@ def repair_summary(
     }
 
 
+def permutation_summary(kernel: "Kernel") -> dict[str, Any]:
+    """Schedule-permuter accounting (permutation-replay checker).
+
+    Summarises the :class:`~repro.sim.permute.SchedulePermuter`
+    counters -- swappable arrivals considered, holds executed, swaps
+    performed, order-preserving flushes, deadline releases -- plus
+    the plan parameters and the seed ledger, so a diverging permuted
+    run is replayable from the report alone.  Returns
+    ``{"enabled": False}`` when no permuter is installed.
+    """
+    permuter = getattr(kernel, "permuter", None)
+    if permuter is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        **permuter.snapshot(),
+        "seeds": kernel.seeds.snapshot(),
+    }
+
+
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:
     """Messages per half-split, the Figure 5 / C4 quantity.
 

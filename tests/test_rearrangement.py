@@ -75,6 +75,32 @@ class TestRearrangementSearch:
         h2 = History.of(START, [ins(5, Mode.INITIAL, 99)])
         assert find_compatible_rearrangement(h1, h2, SEM) is None
 
+    def test_duplicate_actions_tracked_by_position(self):
+        """Regression: a history may legally contain duplicate actions
+        (idempotent re-issue, a repeated search).  The search used to
+        key original subsequent sets by action *identity*, so
+        duplicates aliased to whichever replay entry came last: the
+        identity rearrangement of [search(5), insert(5), search(5)]
+        was rejected (the first search's found=False no longer
+        matched the aliased found=True) and a reordering that
+        posthumously changed the first search's outcome was returned
+        instead.  Tracking positions fixes both."""
+        look = HAction("search", 5, Mode.INITIAL, 7)
+        target = History.of(START, [look, ins(5, Mode.INITIAL, 1), look])
+        found = find_compatible_rearrangement(target, target, SEM)
+        assert found is not None
+        assert found.actions == target.actions
+
+    def test_duplicate_relayed_inserts_rearrange(self):
+        """Idempotent re-issue: the same relayed insert delivered
+        twice must not break the positional subsequent-set check."""
+        again = ins(3, Mode.RELAYED, 4)
+        h1 = History.of(START, [again, ins(5, Mode.INITIAL, 1), again])
+        h2 = History.of(START, [ins(5, Mode.INITIAL, 1), again, again])
+        found = find_compatible_rearrangement(h1, h2, SEM)
+        assert found is not None
+        assert compatible(found, h2, SEM)
+
     def test_guard_on_history_length(self):
         actions = [ins(k, Mode.RELAYED, k) for k in range(12)]
         long_history = History.of(START, actions)
