@@ -48,7 +48,9 @@ from repro.core.replication import (
 from repro.protocols import PROTOCOLS, make_protocol
 from repro.repair import RepairPlan
 from repro.sim.crash import CrashPlan
+from repro.sim.detector import DetectorPlan
 from repro.sim.failure import FaultPlan
+from repro.sim.partition import PartitionPlan
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.verify.checker import CheckReport, check_all
 from repro.verify.model import OracleMap
@@ -72,6 +74,8 @@ __all__ = [
     "PROTOCOLS",
     "make_protocol",
     "CrashPlan",
+    "DetectorPlan",
+    "PartitionPlan",
     "RepairPlan",
     "FaultPlan",
     "ReliabilityConfig",

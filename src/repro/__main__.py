@@ -14,6 +14,10 @@ Commands
     schedules and assert convergence to the canonical run (see
     :mod:`repro.verify.permute`); ``--selftest`` proves the checker
     catches the paper's item-4 non-commuting pair.
+``faults``
+    Build a cluster from the same fault flags as ``demo``, run a
+    short workload, and print every active fault layer's summary plus
+    the seed ledger -- the one-stop replay record for a faulty run.
 ``bench``
     Run the standard insert-burst throughput benchmark and write
     ``BENCH_core.json`` (see :mod:`repro.perf`).
@@ -45,10 +49,82 @@ def _parse_crash_schedule(specs: list[str]) -> tuple:
     return tuple(schedule)
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import CrashPlan, DBTreeCluster, FaultPlan
-    from repro.stats import availability_summary
-    from repro.tools import cluster_summary, dump_tree
+def _parse_window(spec: str, what: str) -> tuple[float, float | None]:
+    """Parse ``T0`` or ``T0:T1`` (empty T1 = never heals)."""
+    parts = spec.split(":")
+    if len(parts) not in (1, 2) or not parts[0]:
+        raise SystemExit(f"{what} expects T0[:T1], got {spec!r}")
+    start = float(parts[0])
+    end = float(parts[1]) if len(parts) == 2 and parts[1] else None
+    return start, end
+
+
+def _parse_endpoint(token: str, what: str) -> int | None:
+    """A pid, or ``*`` for "any processor"."""
+    if token == "*":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        raise SystemExit(f"{what} expects a pid or '*', got {token!r}")
+
+
+def _parse_partition_plans(args: argparse.Namespace):
+    """Build a PartitionPlan from the --partition* flags (or None)."""
+    if not (args.partition or args.partition_oneway or args.partition_gray):
+        return None
+    from repro import PartitionPlan
+
+    splits = []
+    for spec in args.partition:
+        group_part, _, window_part = spec.partition("@")
+        if not window_part:
+            raise SystemExit(
+                f"--partition expects PIDS@T0[:T1], got {spec!r}"
+            )
+        group = tuple(int(p) for p in group_part.split(","))
+        start, end = _parse_window(window_part, "--partition")
+        splits.append((start, end, group))
+    one_way = []
+    for spec in args.partition_oneway:
+        link_part, _, window_part = spec.partition("@")
+        if not window_part or ">" not in link_part:
+            raise SystemExit(
+                f"--partition-oneway expects SRC>DST@T0[:T1], got {spec!r}"
+            )
+        src_tok, dst_tok = link_part.split(">", 1)
+        start, end = _parse_window(window_part, "--partition-oneway")
+        one_way.append((
+            start, end,
+            _parse_endpoint(src_tok, "--partition-oneway"),
+            _parse_endpoint(dst_tok, "--partition-oneway"),
+        ))
+    gray = []
+    for spec in args.partition_gray:
+        link_part, _, rest = spec.partition("@")
+        parts = rest.split(":")
+        if len(parts) != 3 or ">" not in link_part:
+            raise SystemExit(
+                "--partition-gray expects SRC>DST@T0:T1:FACTOR "
+                f"(empty T1 = never heals), got {spec!r}"
+            )
+        src_tok, dst_tok = link_part.split(">", 1)
+        start = float(parts[0])
+        end = float(parts[1]) if parts[1] else None
+        gray.append((
+            start, end,
+            _parse_endpoint(src_tok, "--partition-gray"),
+            _parse_endpoint(dst_tok, "--partition-gray"),
+            float(parts[2]),
+        ))
+    return PartitionPlan(
+        splits=tuple(splits), one_way=tuple(one_way), gray=tuple(gray)
+    )
+
+
+def _build_fault_plans(args: argparse.Namespace):
+    """The (fault, crash, partition, detector) plans the flags ask for."""
+    from repro import CrashPlan, DetectorPlan, FaultPlan
 
     fault_plan = None
     if args.drop_p or args.duplicate_p or args.reorder_p:
@@ -65,6 +141,55 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             mttr=args.mttr,
             detection_delay=args.detection_delay,
         )
+    partition_plan = _parse_partition_plans(args)
+    detector_plan = None
+    if args.detector is not None:
+        detector_plan = DetectorPlan(
+            mode=args.detector,
+            period=args.heartbeat_period,
+            timeout=args.detection_delay,
+            phi_threshold=args.phi_threshold,
+            horizon=args.detector_horizon,
+        )
+    return fault_plan, crash_plan, partition_plan, detector_plan
+
+
+def _print_fault_summaries(cluster) -> None:
+    """One line per active opt-in fault/detection layer."""
+    from repro.stats import detector_summary, partition_summary
+
+    ps = partition_summary(cluster.kernel)
+    if ps.get("enabled"):
+        print(
+            f"partition: {ps['cuts_applied']} cuts "
+            f"({ps['heals']} healed, {ps['stochastic_cuts']} stochastic), "
+            f"{ps['gray_applied']} gray windows, "
+            f"{ps['messages_blocked']} messages swallowed; "
+            f"open at quiescence: {ps['open_cut_links']} cut, "
+            f"{ps['open_gray_links']} gray"
+        )
+    ds = detector_summary(cluster.kernel)
+    if ds.get("enabled"):
+        latency = ds["mean_detection_latency"]
+        print(
+            f"detector ({ds['mode']}, period {ds['period']:g}): "
+            f"{ds['heartbeats_sent']} heartbeats, "
+            f"{ds['suspicions']} suspicions "
+            f"({ds['false_suspicions']} false, "
+            f"{ds['rescinds']} rescinded), "
+            "mean detection latency "
+            + (f"{latency:.0f}" if latency is not None else "n/a")
+        )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import DBTreeCluster
+    from repro.stats import availability_summary
+    from repro.tools import cluster_summary, dump_tree
+
+    fault_plan, crash_plan, partition_plan, detector_plan = (
+        _build_fault_plans(args)
+    )
     cluster = DBTreeCluster(
         num_processors=args.processors,
         protocol=args.protocol,
@@ -73,6 +198,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         reliability=args.reliability,
         crash_plan=crash_plan,
+        partition_plan=partition_plan,
+        detector_plan=detector_plan,
         op_timeout=args.op_timeout,
         replication_factor=args.replication_factor,
         mirror_placement=args.mirror_placement,
@@ -80,7 +207,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         repair_fanout=args.repair_fanout,
     )
     expected = {}
-    spacing = args.op_spacing if crash_plan is not None else 0.0
+    faulty = crash_plan is not None or partition_plan is not None
+    spacing = args.op_spacing if faulty else 0.0
     for index in range(args.inserts):
         key = index * 37 % 999_983  # prime modulus: keys stay distinct
         expected[key] = index
@@ -140,11 +268,106 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"repairs: {by_kind or 'none'}; "
             f"converged {rs['time_to_convergence']:.0f} before quiescence"
         )
+    _print_fault_summaries(cluster)
     print("audit:", report.summary())
     if not report.ok:
         for problem in report.problems[:10]:
             print(" ", problem)
     return 0 if report.ok else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro import DBTreeCluster
+    from repro.stats import (
+        availability_summary,
+        detector_summary,
+        partition_summary,
+        repair_summary,
+    )
+
+    fault_plan, crash_plan, partition_plan, detector_plan = (
+        _build_fault_plans(args)
+    )
+    cluster = DBTreeCluster(
+        num_processors=args.processors,
+        protocol=args.protocol,
+        capacity=args.capacity,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        reliability=args.reliability,
+        crash_plan=crash_plan,
+        partition_plan=partition_plan,
+        detector_plan=detector_plan,
+        op_timeout=args.op_timeout,
+        replication_factor=args.replication_factor,
+        mirror_placement=args.mirror_placement,
+        repair_period=args.repair_period,
+        repair_fanout=args.repair_fanout,
+    )
+    for index in range(args.inserts):
+        key = index * 37 % 999_983
+        cluster.schedule(
+            index * args.op_spacing, "insert", key, index,
+            client=index % args.processors,
+        )
+    results = cluster.run()
+    print(
+        f"fault layers @ t={cluster.now:.0f} "
+        f"({len(results.completed)}/{args.inserts} ops completed):"
+    )
+
+    def line(name: str, on: bool, detail: str = "") -> None:
+        state = "on " if on else "off"
+        suffix = f"  {detail}" if on and detail else ""
+        print(f"  {name:<12}{state}{suffix}")
+
+    line(
+        "faults", fault_plan is not None,
+        fault_plan is not None and (
+            f"drop={fault_plan.drop_p:g} dup={fault_plan.duplicate_p:g} "
+            f"reorder={fault_plan.reorder_p:g}"
+        ) or "",
+    )
+    line(
+        "reliability", args.reliability == "enforced",
+        "retransmission + dedup + resequencing",
+    )
+    avail = availability_summary(cluster.kernel, cluster.trace)
+    line(
+        "crash", crash_plan is not None,
+        f"{avail['crashes']} crashes, {avail['restarts']} restarts, "
+        f"{avail['lost_actions']} actions lost",
+    )
+    ps = partition_summary(cluster.kernel)
+    line(
+        "partition", ps.get("enabled", False),
+        ps.get("enabled") and (
+            f"{ps['cuts_applied']} cuts ({ps['heals']} healed), "
+            f"{ps['gray_applied']} gray, "
+            f"{ps['messages_blocked']} messages swallowed"
+        ) or "",
+    )
+    ds = detector_summary(cluster.kernel)
+    line(
+        "detector", ds.get("enabled", False),
+        ds.get("enabled") and (
+            f"{ds['mode']}, {ds['suspicions']} suspicions "
+            f"({ds['false_suspicions']} false, "
+            f"{ds['rescinds']} rescinded)"
+        ) or "",
+    )
+    rs = repair_summary(cluster.kernel, cluster.trace)
+    line(
+        "repair", rs.get("enabled", False),
+        rs.get("enabled") and (
+            f"{rs['rounds_started']} rounds, "
+            f"{rs['repairs_total']} repairs"
+        ) or "",
+    )
+    print("seeds:")
+    for stream, value in sorted(cluster.seed_summary().items()):
+        print(f"  {stream:<12}{value}")
+    return 0
 
 
 def _cmd_hash_demo(args: argparse.Namespace) -> int:
@@ -311,6 +534,127 @@ def _cmd_version(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    """Cluster + fault-layer flags shared by ``demo`` and ``faults``."""
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--protocol", default="semisync")
+    parser.add_argument("--capacity", type=int, default=8)
+    parser.add_argument("--inserts", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--reliability",
+        default="assumed",
+        choices=["assumed", "enforced"],
+        help="'enforced' turns on the reliable-delivery layer "
+        "(dedup + acks + retransmission + resequencing)",
+    )
+    parser.add_argument(
+        "--drop-p", type=float, default=0.0,
+        help="probability the substrate drops a message",
+    )
+    parser.add_argument(
+        "--duplicate-p", type=float, default=0.0,
+        help="probability the substrate duplicates a message",
+    )
+    parser.add_argument(
+        "--reorder-p", type=float, default=0.0,
+        help="probability a message bypasses per-channel FIFO",
+    )
+    parser.add_argument(
+        "--crash", action="append", default=[], metavar="PID:T0[:T1]",
+        help="schedule a crash-stop: processor PID crashes at T0 and "
+        "restarts at T1 (omit T1 for a permanent crash); repeatable",
+    )
+    parser.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="per-processor stochastic crash rate (crashes per time unit)",
+    )
+    parser.add_argument(
+        "--mttr", type=float, default=200.0,
+        help="mean time to restart for stochastic crashes",
+    )
+    parser.add_argument(
+        "--detection-delay", type=float, default=50.0,
+        help="oracle detection delay before peers learn of a crash "
+        "(must exceed the message latency); with --detector it is the "
+        "timeout-mode suspicion threshold instead",
+    )
+    parser.add_argument(
+        "--partition", action="append", default=[],
+        metavar="PIDS@T0[:T1]",
+        help="cut a group of processors off from the rest between T0 "
+        "and T1 (omit T1 for a cut that never heals), e.g. "
+        "'0,1@800:1400'; repeatable",
+    )
+    parser.add_argument(
+        "--partition-oneway", action="append", default=[],
+        metavar="SRC>DST@T0[:T1]",
+        help="cut one direction of a link ('*' = any pid), e.g. "
+        "'1>*@500:900'; repeatable",
+    )
+    parser.add_argument(
+        "--partition-gray", action="append", default=[],
+        metavar="SRC>DST@T0:T1:FACTOR",
+        help="gray failure: inflate a link's latency by FACTOR between "
+        "T0 and T1 (empty T1 = never heals), e.g. '1>*@500:2500:10'; "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--detector", default=None, choices=list_detector_modes(),
+        help="replace the crash layer's global detection oracle with "
+        "earned heartbeat-based detection ('timeout' or 'phi' accrual)",
+    )
+    parser.add_argument(
+        "--heartbeat-period", type=float, default=20.0,
+        help="heartbeat emission period for --detector",
+    )
+    parser.add_argument(
+        "--phi-threshold", type=float, default=8.0,
+        help="suspicion threshold for --detector phi",
+    )
+    parser.add_argument(
+        "--detector-horizon", type=float, default=5000.0,
+        help="virtual time after which heartbeats stop (lets the "
+        "simulation quiesce)",
+    )
+    parser.add_argument(
+        "--op-timeout", type=float, default=None,
+        help="per-operation timeout with idempotent retry from the root "
+        "(retries back off with decorrelated jitter)",
+    )
+    parser.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="total leaf copies under crashes (>= 2 maintains mirrors "
+        "that are promoted when the home dies)",
+    )
+    parser.add_argument(
+        "--mirror-placement", default="ring",
+        choices=["ring", "rendezvous"],
+        help="mirror target policy: pid-successor 'ring' (one failure "
+        "domain per home) or per-leaf 'rendezvous' hashing",
+    )
+    parser.add_argument(
+        "--repair-period", type=float, default=None,
+        help="enable background anti-entropy repair with this gossip "
+        "period (virtual time units)",
+    )
+    parser.add_argument(
+        "--repair-fanout", type=int, default=1,
+        help="peers contacted per gossip tick when repair is enabled",
+    )
+    parser.add_argument(
+        "--op-spacing", type=float, default=8.0,
+        help="inter-arrival time between inserts when a crash or "
+        "partition plan is active (so faults land mid-workload)",
+    )
+
+
+def list_detector_modes() -> list[str]:
+    from repro.sim.detector import DETECTOR_MODES
+
+    return list(DETECTOR_MODES)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -319,78 +663,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     demo = subparsers.add_parser("demo", help="run a dB-tree demo + audit")
-    demo.add_argument("--processors", type=int, default=4)
-    demo.add_argument("--protocol", default="semisync")
-    demo.add_argument("--capacity", type=int, default=8)
-    demo.add_argument("--inserts", type=int, default=120)
-    demo.add_argument("--seed", type=int, default=0)
-    demo.add_argument(
-        "--reliability",
-        default="assumed",
-        choices=["assumed", "enforced"],
-        help="'enforced' turns on the reliable-delivery layer "
-        "(dedup + acks + retransmission + resequencing)",
-    )
-    demo.add_argument(
-        "--drop-p", type=float, default=0.0,
-        help="probability the substrate drops a message",
-    )
-    demo.add_argument(
-        "--duplicate-p", type=float, default=0.0,
-        help="probability the substrate duplicates a message",
-    )
-    demo.add_argument(
-        "--reorder-p", type=float, default=0.0,
-        help="probability a message bypasses per-channel FIFO",
-    )
-    demo.add_argument(
-        "--crash", action="append", default=[], metavar="PID:T0[:T1]",
-        help="schedule a crash-stop: processor PID crashes at T0 and "
-        "restarts at T1 (omit T1 for a permanent crash); repeatable",
-    )
-    demo.add_argument(
-        "--crash-rate", type=float, default=0.0,
-        help="per-processor stochastic crash rate (crashes per time unit)",
-    )
-    demo.add_argument(
-        "--mttr", type=float, default=200.0,
-        help="mean time to restart for stochastic crashes",
-    )
-    demo.add_argument(
-        "--detection-delay", type=float, default=50.0,
-        help="failure-detector timeout before peers learn of a crash "
-        "(must exceed the message latency)",
-    )
-    demo.add_argument(
-        "--op-timeout", type=float, default=None,
-        help="per-operation timeout with idempotent retry from the root",
-    )
-    demo.add_argument(
-        "--replication-factor", type=int, default=1,
-        help="total leaf copies under crashes (>= 2 maintains mirrors "
-        "that are promoted when the home dies)",
-    )
-    demo.add_argument(
-        "--mirror-placement", default="ring",
-        choices=["ring", "rendezvous"],
-        help="mirror target policy: pid-successor 'ring' (one failure "
-        "domain per home) or per-leaf 'rendezvous' hashing",
-    )
-    demo.add_argument(
-        "--repair-period", type=float, default=None,
-        help="enable background anti-entropy repair with this gossip "
-        "period (virtual time units)",
-    )
-    demo.add_argument(
-        "--repair-fanout", type=int, default=1,
-        help="peers contacted per gossip tick when repair is enabled",
-    )
-    demo.add_argument(
-        "--op-spacing", type=float, default=8.0,
-        help="inter-arrival time between inserts when a crash plan is "
-        "active (so crashes land mid-workload)",
-    )
+    _add_cluster_args(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="run a faulty workload and print every active fault "
+        "layer + the seed ledger",
+    )
+    _add_cluster_args(faults)
+    faults.set_defaults(func=_cmd_faults)
 
     hash_demo = subparsers.add_parser(
         "hash-demo", help="run a lazy hash table demo + audit"

@@ -456,14 +456,37 @@ class MigrateNode:
 class PeerFailure:
     """Local failure-detector verdict: ``pid`` is crashed.
 
-    Delivered to every live processor ``detection_delay`` after the
-    crash (if the victim has not restarted by then).  The receiver
-    force-unjoins the dead processor from replicated copy sets it is
-    primary for and re-homes mirrored single-copy leaves the dead
-    processor owned.
+    Under the oracle (``detection_delay``) model this is delivered to
+    every live processor at once; under an earned detector
+    (:mod:`repro.sim.detector`) it is enqueued per observer when that
+    observer's own monitor gives up on ``pid`` -- and may be *wrong*
+    (a partitioned or gray-slow peer is alive).  The receiver
+    force-unjoins the suspect from replicated copy sets it is primary
+    for and re-homes mirrored single-copy leaves the suspect owned;
+    every one of those steps must therefore be survivable when the
+    verdict turns out false (idempotent re-joins, anti-entropy
+    reconciliation, see :class:`PeerRescind`).
     """
 
     kind = "peer_failure"
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class PeerRescind:
+    """Local failure-detector retraction: ``pid`` is alive after all.
+
+    Emitted only by an earned detector, when a heartbeat arrives from
+    a peer the observer had suspected (a healed partition, a gray
+    link that caught up, or plain bad luck).  The receiver drops the
+    suspect from its ``dead_peers`` view so future copy-set choices
+    may include it again; repairing whatever the false suspicion
+    already broke (forced unjoins, double-homed leaves) is the
+    anti-entropy layer's job, not this action's.
+    """
+
+    kind = "peer_rescind"
 
     pid: int
 

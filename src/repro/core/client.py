@@ -23,6 +23,7 @@ compatible / ordered histories plus structural invariants).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -31,8 +32,10 @@ from repro.core.dbtree import DBTreeEngine
 from repro.core.keys import Key
 from repro.core.replication import ReplicationPolicy
 from repro.sim.crash import CrashPlan
+from repro.sim.detector import DetectorPlan
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.partition import PartitionPlan
 from repro.sim.permute import PermutePlan
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
 from repro.sim.simulator import Kernel
@@ -184,6 +187,21 @@ class DBTreeCluster:
         ``fault_plan``, ``crash_plan``, ``relay_batch_window``, and
         enforced reliability; ``None`` (default) keeps the delivery
         fast path byte-identical.
+    partition_plan:
+        Optional :class:`~repro.sim.partition.PartitionPlan` of
+        network partitions: scheduled or stochastic link cuts (full
+        splits, asymmetric one-way losses) and gray failures
+        (per-link latency inflation).  Composes with every other
+        fault layer; ``None`` (default) keeps the delivery fast path
+        byte-identical.  Incompatible with ``permute_plan``.
+    detector_plan:
+        Optional :class:`~repro.sim.detector.DetectorPlan` replacing
+        the crash layer's global detection oracle with *earned*
+        failure detection: per-processor heartbeats feeding a timeout
+        or phi-accrual detector whose (possibly wrong) suspicions
+        drive the engine.  Implies a crash-capable cluster even
+        without a ``crash_plan``.  ``None`` (default) keeps oracle
+        detection and the fast path byte-identical.
     """
 
     def __init__(
@@ -214,6 +232,8 @@ class DBTreeCluster:
         repair_fanout: int = 1,
         repair_plan: Any | None = None,
         permute_plan: PermutePlan | None = None,
+        partition_plan: PartitionPlan | None = None,
+        detector_plan: DetectorPlan | None = None,
     ) -> None:
         from repro.protocols import make_protocol
 
@@ -230,13 +250,42 @@ class DBTreeCluster:
                     "relays parked in the batcher would survive the crash "
                     "of the processor that owes them"
                 )
-            if latency_model is None and crash_plan.detection_delay <= latency:
-                raise ValueError(
-                    f"detection_delay ({crash_plan.detection_delay}) must "
-                    f"exceed the message latency ({latency}): the recovery "
-                    "protocol relies on donors having drained the dead "
-                    "window's traffic before a restart is announced"
-                )
+            if detector_plan is None:
+                # Oracle detection's drained-dead-window assumption:
+                # a restart announcement must arrive after every
+                # message the dead window could still deliver.  An
+                # earned detector (detector_plan) retires the oracle
+                # and this assumption with it.
+                if latency_model is None:
+                    if crash_plan.detection_delay <= latency:
+                        raise ValueError(
+                            f"detection_delay ({crash_plan.detection_delay}) "
+                            f"must exceed the message latency ({latency}): "
+                            "the recovery protocol relies on donors having "
+                            "drained the dead window's traffic before a "
+                            "restart is announced"
+                        )
+                    if crash_plan.detection_delay <= latency + latency_jitter:
+                        warnings.warn(
+                            f"detection_delay ({crash_plan.detection_delay}) "
+                            "may be exceeded by a jittered transit (up to "
+                            f"{latency + latency_jitter}); oracle detection "
+                            "assumes the dead window's traffic drains first. "
+                            "Raise detection_delay, or pass detector_plan to "
+                            "retire the oracle",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                else:
+                    warnings.warn(
+                        "cannot validate detection_delay "
+                        f"({crash_plan.detection_delay}) against a custom "
+                        "latency_model; a transit longer than the oracle "
+                        "delay violates the drained-dead-window assumption. "
+                        "Pass detector_plan to retire the oracle",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         if permute_plan is not None:
             if fault_plan is not None:
                 raise ValueError(
@@ -260,6 +309,18 @@ class DBTreeCluster:
                     "permute_plan is incompatible with relay_batch_window: "
                     "the batcher already reorders relays at the sender"
                 )
+            if partition_plan is not None:
+                raise ValueError(
+                    "permute_plan is incompatible with partition_plan: a "
+                    "blocked link would confound which swaps caused a "
+                    "divergence"
+                )
+            if detector_plan is not None:
+                raise ValueError(
+                    "permute_plan is incompatible with detector_plan: "
+                    "detector_plan implies a crash-capable cluster and "
+                    "permuted schedules are incomparable under crashes"
+                )
         if repair_plan is None and repair_period is not None:
             from repro.repair import RepairPlan
 
@@ -276,6 +337,8 @@ class DBTreeCluster:
             reliability_config=reliability_config,
             crash_plan=crash_plan,
             permute_plan=permute_plan,
+            partition_plan=partition_plan,
+            detector_plan=detector_plan,
         )
         if self.kernel.permuter is not None:
             from repro.core.commutativity import claims_for
@@ -485,6 +548,18 @@ class DBTreeCluster:
         from repro.stats.metrics import permutation_summary
 
         return permutation_summary(self.kernel)
+
+    def detector_summary(self) -> dict[str, Any]:
+        """Failure-detector accounting; see repro.stats."""
+        from repro.stats.metrics import detector_summary
+
+        return detector_summary(self.kernel)
+
+    def partition_summary(self) -> dict[str, Any]:
+        """Partition fault-layer accounting; see repro.stats."""
+        from repro.stats.metrics import partition_summary
+
+        return partition_summary(self.kernel)
 
     def seed_summary(self) -> dict[str, int]:
         """Every seeded stream this run used, from the kernel ledger."""

@@ -22,6 +22,7 @@ coherence discipline changes.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from functools import partial
 from typing import TYPE_CHECKING, Any, Callable
@@ -36,6 +37,7 @@ from repro.core.actions import (
     Mode,
     OpContext,
     PeerFailure,
+    PeerRescind,
     RecoveryAnnounce,
     ReturnValue,
     ScanStep,
@@ -147,12 +149,23 @@ class DBTreeEngine:
         #: never produce a return value (home crashed / retries spent).
         self.op_verdicts: dict[int, str] = {}
         self._completed_ops: set[int] = set()
-        # op_id -> [retries_left, timer EventHandle]
+        # op_id -> [retries_left, timer EventHandle, last timer delay]
         self._pending_ops: dict[int, list] = {}
         if controller is not None:
             controller.on_crash(self._on_processor_crash)
             controller.on_detect(self._on_processor_detect)
             controller.on_restart(self._on_processor_restart)
+        # Earned failure detection (repro.sim.detector): suspicion and
+        # rescission arrive per observer instead of the oracle's
+        # all-at-once announcement, and may be wrong.
+        detector = getattr(kernel, "detector", None)
+        self._detector = detector
+        if detector is not None:
+            detector.on_suspect(self._on_detector_suspect)
+            detector.on_rescind(self._on_detector_rescind)
+        # Decorrelated-jitter backoff state for op retries; the rng is
+        # derived lazily so runs that never retry register no stream.
+        self._op_backoff_rng: random.Random | None = None
         # Per-processor key -> leaf hints (None = feature off).  Stale
         # hints are safe by construction: a misdirected operation
         # recovers via B-link out-of-range forwarding, see
@@ -640,6 +653,8 @@ class DBTreeEngine:
             self._on_mirror_update(proc, action)
         elif isinstance(action, PeerFailure):
             self._on_peer_failure(proc, action)
+        elif isinstance(action, PeerRescind):
+            self._on_peer_rescind(proc, action)
         elif isinstance(action, RecoveryAnnounce):
             self._on_recovery_announce(proc, action)
         elif self.protocol.handle(proc, action):
@@ -1132,11 +1147,50 @@ class DBTreeEngine:
     def _on_processor_detect(self, pid: int) -> None:
         """The failure of ``pid`` is announced: each live processor's
         local failure detector fires.  Modeled as a locally enqueued
-        action (detectors are local observations, not messages)."""
+        action (detectors are local observations, not messages).
+
+        Oracle mode only: with an earned detector installed the crash
+        controller never schedules this announcement, and suspicion
+        arrives through :meth:`_on_detector_suspect` instead."""
         controller = self.kernel.crash_controller
         assert controller is not None
         for alive_pid in controller.alive_pids():
             self.kernel.processor(alive_pid).submit(PeerFailure(pid))
+
+    def _on_detector_suspect(self, observer: int, peer: int) -> None:
+        """Observer's heartbeat monitor gave up on ``peer``.
+
+        A strictly local event: only the observer acts, by enqueueing
+        the same :class:`PeerFailure` the oracle would have broadcast
+        -- the downstream machinery (forced unjoins, mirror re-homes)
+        cannot tell earned suspicion from announced death, which is
+        what makes the detector swappable."""
+        proc = self.kernel.processors.get(observer)
+        if proc is not None and proc.alive:
+            proc.submit(PeerFailure(peer))
+
+    def _on_detector_rescind(self, observer: int, peer: int) -> None:
+        """A heartbeat from a suspected peer: the observer takes it back."""
+        proc = self.kernel.processors.get(observer)
+        if proc is not None and proc.alive:
+            proc.submit(PeerRescind(peer))
+
+    def peer_up(self, observer_pid: int, pid: int) -> bool:
+        """Whether ``observer_pid`` currently believes ``pid`` is up.
+
+        With an earned detector installed this is the observer's own
+        (fallible) opinion; otherwise it is the crash controller's
+        ground truth, which the pre-detector layers used as a stand-in
+        for a shared failure-detector verdict.  Every liveness consult
+        above the simulator layer (mirror re-homing, repair sweeps,
+        gossip peer choice) goes through here so no component quietly
+        keeps the oracle once detection is earned.
+        """
+        detector = self._detector
+        if detector is not None:
+            return not detector.is_suspected(observer_pid, pid)
+        controller = self.kernel.crash_controller
+        return controller is None or controller.is_alive(pid)
 
     def _on_processor_restart(self, pid: int) -> None:
         """Come back amnesiac: announce the restart and open the
@@ -1201,12 +1255,25 @@ class DBTreeEngine:
 
     def _on_peer_failure(self, proc: Processor, action: PeerFailure) -> None:
         dead = action.pid
-        controller = self.kernel.crash_controller
-        if controller is None or controller.is_alive(dead):
-            # Raced a restart: the announce path owns recovery now,
-            # and acting on the stale verdict could fork the leaf.
-            self.trace.bump("peer_failure_stale")
-            return
+        detector = self._detector
+        if detector is not None:
+            # Earned detection: act iff the observer *still* suspects
+            # the peer.  Note what this deliberately does not check --
+            # the oracle.  A false suspicion proceeds (forced unjoin,
+            # re-home and all); tolerating that, via idempotent
+            # re-joins and anti-entropy reconciliation, is the
+            # partition-tolerance contract the checker audits.
+            if not detector.is_suspected(proc.pid, dead):
+                self.trace.bump("peer_failure_stale")
+                return
+        else:
+            controller = self.kernel.crash_controller
+            if controller is None or controller.is_alive(dead):
+                # Raced a restart: the announce path owns recovery
+                # now, and acting on the stale verdict could fork the
+                # leaf.
+                self.trace.bump("peer_failure_stale")
+                return
         joining = proc.state.get("joining")
         if joining:
             # Pending join requests may have been dead-lettered at the
@@ -1218,6 +1285,27 @@ class DBTreeEngine:
         self.protocol.on_peer_failure(proc, dead)
         if self._mirror_enabled:
             self._rehome_mirrors(proc, dead)
+
+    def _on_peer_rescind(self, proc: Processor, action: PeerRescind) -> None:
+        """The observer's detector withdrew its suspicion of ``pid``.
+
+        Restores the peer to this processor's world view (future copy
+        sets, gossip partners, and mirror successors may include it
+        again) and nudges repair: if the false suspicion already
+        forced an unjoin or double-homed a leaf, the next gossip
+        exchange with the rescinded peer is what heals it, so waiting
+        out the dormancy window would just prolong the divergence.
+        """
+        pid = action.pid
+        dead_peers = proc.state.get("dead_peers")
+        if dead_peers is None or pid not in dead_peers:
+            self.trace.bump("peer_rescind_stale")
+            return
+        dead_peers.discard(pid)
+        self.trace.bump("peer_rescinds")
+        self.protocol.on_peer_rescind(proc, pid)
+        if self.repair is not None:
+            self.repair.scheduler.wake(proc.pid)
 
     def _on_recovery_announce(
         self, proc: Processor, action: RecoveryAnnounce
@@ -1405,12 +1493,17 @@ class DBTreeEngine:
         ]
         if not doomed:
             return
-        controller = self.kernel.crash_controller
         for node_id, snap in doomed:
             del mirrors[node_id]
             successor = None
             for pid in self._mirror_targets(dead, node_id):
-                if controller is not None and controller.is_alive(pid):
+                # The adopter's own belief, not the oracle's: under an
+                # earned detector two holders may pick different
+                # successors (or adopt a leaf whose home is merely
+                # partitioned).  The resulting double-home is expected
+                # and reconciled by the repair layer's home-resolve
+                # exchange.
+                if pid != dead and self.peer_up(proc.pid, pid):
                     successor = pid
                     break
             if proc.pid != successor or node_id in self.store(proc):
@@ -1450,15 +1543,44 @@ class DBTreeEngine:
             )
 
     # -- per-operation timeouts and idempotent retry -------------------
+    #: Retry delays are capped at this multiple of ``op_timeout``.
+    BACKOFF_CAP = 8.0
+
+    def _backoff_delay(self, prev_delay: float) -> float:
+        """Next retry delay: decorrelated jitter (capped).
+
+        ``min(cap, uniform(base, prev * 3))`` -- each delay is drawn
+        relative to the *previous* one rather than the attempt number,
+        which decorrelates retry storms across operations (the
+        AWS-architecture-blog variant of exponential backoff).  Seeded
+        via the kernel's ledger so runs replay exactly.
+        """
+        rng = self._op_backoff_rng
+        if rng is None:
+            rng = random.Random(self.kernel.seeds.derive("op-backoff"))
+            self._op_backoff_rng = rng
+        cap = self.op_timeout * self.BACKOFF_CAP
+        return min(cap, rng.uniform(self.op_timeout, prev_delay * 3.0))
+
     def _arm_op_timer(self, op: OpContext) -> None:
-        handle = self.kernel.events.schedule(
-            self.now + self.op_timeout, partial(self._op_timer_fired, op)
-        )
         entry = self._pending_ops.get(op.op_id)
         if entry is None:
-            self._pending_ops[op.op_id] = [self.op_retries, handle]
+            # First attempt: plain timeout, no jitter (the fast path's
+            # pinned traces depend on it).
+            delay = self.op_timeout
+            handle = self.kernel.events.schedule(
+                self.now + delay, partial(self._op_timer_fired, op)
+            )
+            self._pending_ops[op.op_id] = [self.op_retries, handle, delay]
         else:
-            entry[1] = handle
+            # Re-arm after a retry: back off with decorrelated jitter
+            # so a struggling home does not re-issue in lockstep.
+            delay = self._backoff_delay(entry[2])
+            entry[2] = delay
+            self.trace.bump("op_backoff_delay_total", delay - self.op_timeout)
+            entry[1] = self.kernel.events.schedule(
+                self.now + delay, partial(self._op_timer_fired, op)
+            )
 
     def _op_timer_fired(self, op: OpContext) -> None:
         entry = self._pending_ops.get(op.op_id)

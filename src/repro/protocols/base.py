@@ -422,3 +422,16 @@ class Protocol:
         The variable-copies protocol re-sends pending unjoin requests
         whose primary copy lived on ``pid`` (the crash wiped them).
         """
+
+    def on_peer_rescind(self, proc: "Processor", pid: int) -> None:
+        """Hook: this processor's failure detector withdrew its
+        suspicion of ``pid`` (earned detection only -- the oracle is
+        never wrong, so it never rescinds).
+
+        Called after the engine removed ``pid`` from ``dead_peers``.
+        Default: nothing.  Deliberately *not* a membership operation:
+        if the false suspicion already forced an unjoin, re-admitting
+        ``pid`` must go through the versioned join machinery (which
+        the anti-entropy layer triggers on the next exchange), not a
+        silent local re-add that would fork the copy-set history.
+        """

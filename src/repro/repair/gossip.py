@@ -264,12 +264,17 @@ class GossipScheduler:
         service.sweep_orphans(proc)
         service.sweep_dead_members(proc)
         self._expire_rounds(engine.now)
-        controller = engine.kernel.crash_controller
+        # Partner choice follows the *initiator's own* liveness belief
+        # (detector opinion when one is installed, oracle otherwise):
+        # gossiping at a falsely suspected peer would be fine -- the
+        # exchange is what heals the false unjoin -- but a suspected
+        # peer is by definition one we are not hearing from, so rounds
+        # aimed at it mostly expire.  Rescission wakes us and puts the
+        # peer back in rotation.
         peers = [
             pid
             for pid in engine.kernel.pids
-            if pid != proc.pid
-            and (controller is None or controller.is_alive(pid))
+            if pid != proc.pid and engine.peer_up(proc.pid, pid)
         ]
         if not peers:
             return

@@ -117,6 +117,33 @@ class RejoinAdvise:
     pc_pid: int
 
 
+@dataclass(frozen=True)
+class HomeResolve:
+    """Two live processors both claim the same single-copy leaf.
+
+    The double-home is a *feature* of earned failure detection: a
+    mirror holder that (falsely or not) suspected the home adopts the
+    leaf, and if the original home is actually alive the tree briefly
+    has two primaries for one key range.  Gossip surfaces the clash
+    (a role-"L" claim against a processor that holds a real copy);
+    this exchange settles it deterministically: the larger
+    ``(version, pid)`` claim wins, the loser replays the keyed
+    updates only it saw (``have`` is the sender's incorporated
+    action-id set, same replay machinery as :class:`RepairPull`) and
+    cedes the leaf, and the winner bumps its version past the loser's
+    so every stale location hint and mirror resolves the same way.
+    ``reply`` marks the settling leg so the exchange terminates.
+    """
+
+    kind = "home_resolve"
+
+    src_pid: int
+    node_id: int
+    version: int
+    have: frozenset
+    reply: bool = False
+
+
 _REPAIR_ACTIONS = (
     GossipTick,
     DigestOffer,
@@ -127,6 +154,7 @@ _REPAIR_ACTIONS = (
     MirrorReturnRequest,
     RepairPull,
     RejoinAdvise,
+    HomeResolve,
 )
 
 
@@ -149,6 +177,14 @@ class RepairService:
             controller.on_crash(self._on_peer_crash)
             controller.on_detect(lambda _pid: self.scheduler.wake_all())
             controller.on_restart(self._on_peer_restart)
+        detector = getattr(engine.kernel, "detector", None)
+        if detector is not None:
+            # Earned detection never fires the controller's on_detect
+            # hook; wake on local suspicion instead -- and on
+            # rescission, because a withdrawn suspicion means the
+            # forced unjoins it caused are now divergence to repair.
+            detector.on_suspect(lambda _obs, _pid: self.scheduler.wake_all())
+            detector.on_rescind(lambda _obs, _pid: self.scheduler.wake_all())
         engine.kernel.repair_service = self
         self.scheduler.start()
 
@@ -270,6 +306,8 @@ class RepairService:
             self._on_mirror_return(proc, action)
         elif isinstance(action, RepairPull):
             self._on_repair_pull(proc, action)
+        elif isinstance(action, HomeResolve):
+            self._on_home_resolve(proc, action)
         else:
             self._on_rejoin_advise(proc, action)
         return True
@@ -330,7 +368,29 @@ class RepairService:
         if role == "L":
             # The peer's own leaf should be mirrored here and is not
             # (or is stale): pull a fresh push from the home.
-            if engine.copy_at(proc, node_id) is not None:
+            copy = engine.copy_at(proc, node_id)
+            if copy is not None:
+                if (
+                    copy.is_leaf
+                    and not copy.retired
+                    and len(copy.copy_versions) == 1
+                ):
+                    # Double-home: the peer claims a leaf we also hold
+                    # as our own single-copy primary -- the signature
+                    # of a re-home raced against a live (partitioned
+                    # or falsely suspected) home.  Settle it.
+                    self.count("home_conflicts")
+                    engine.kernel.route(
+                        proc.pid,
+                        peer,
+                        HomeResolve(
+                            src_pid=proc.pid,
+                            node_id=node_id,
+                            version=copy.version,
+                            have=frozenset(copy.incorporated_ids),
+                        ),
+                    )
+                    return True
                 self.count("home_conflicts")
                 return False
             engine.kernel.route(
@@ -561,6 +621,92 @@ class RepairService:
                 )
                 self.count("pulls_escalated")
 
+    def _on_home_resolve(self, proc: "Processor", action: HomeResolve) -> None:
+        """Settle a double-homed leaf: larger ``(version, pid)`` wins.
+
+        The comparison is on the *claims carried in the exchange*, so
+        both sides reach the same verdict without any shared oracle.
+        The loser first replays the keyed updates only it saw (the
+        winner's copy absorbs them through the ordinary idempotent
+        relayed path), then cedes; the winner bumps its version past
+        the loser's and re-announces, so neighbours, parents, and
+        mirrors all converge on one home.  Either side may initiate --
+        concurrent initiations settle to the same winner because the
+        order on claims is total.
+        """
+        engine = self.engine
+        node_id = action.node_id
+        copy = engine.copy_at(proc, node_id)
+        if (
+            copy is None
+            or copy.retired
+            or not copy.is_leaf
+            or len(copy.copy_versions) != 1
+        ):
+            # No live single-copy claim on this side (already ceded,
+            # re-replicated, or retired): nothing left to settle.
+            self.count("home_resolves_moot")
+            return
+        mine = (copy.version, proc.pid)
+        theirs = (action.version, action.src_pid)
+        if mine > theirs:
+            # We win.  On the initiating leg, hand the loser our
+            # incorporated set so it can replay what only it saw
+            # before ceding.
+            if not action.reply:
+                engine.kernel.route(
+                    proc.pid,
+                    action.src_pid,
+                    HomeResolve(
+                        src_pid=proc.pid,
+                        node_id=node_id,
+                        version=copy.version,
+                        have=frozenset(copy.incorporated_ids),
+                        reply=True,
+                    ),
+                )
+            # Dominate the loser's claim: every stale location hint,
+            # mirror, and parent link now resolves to us on version.
+            copy.version = max(copy.version, action.version) + 1
+            copy.copy_versions = {proc.pid: copy.version}
+            engine._announce_rehome(proc, copy)
+            engine.mirror_leaf(proc, copy)
+            self.count("home_resolves_won")
+            self.scheduler.mark_dirty()
+            return
+        # We lose: replay the updates the winner lacks, then cede.
+        log = copy.proto.get("repair_log")
+        replayed = 0
+        if log:
+            incorporated = copy.incorporated_ids
+            for action_id, stored in log.items():
+                if action_id in action.have or action_id not in incorporated:
+                    continue
+                engine.kernel.route(proc.pid, action.src_pid, stored)
+                replayed += 1
+        if replayed:
+            self.count("updates_replayed", replayed)
+        if not action.reply:
+            # Settling leg: carry our claim back so the winner bumps
+            # past it and re-announces.
+            engine.kernel.route(
+                proc.pid,
+                action.src_pid,
+                HomeResolve(
+                    src_pid=proc.pid,
+                    node_id=node_id,
+                    version=copy.version,
+                    have=frozenset(copy.incorporated_ids),
+                    reply=True,
+                ),
+            )
+        del engine.store(proc)[node_id]
+        engine.trace.record_copy_deleted(
+            node_id, proc.pid, engine.now, reason="home_resolve"
+        )
+        self.count("home_resolves_ceded")
+        self.scheduler.mark_dirty()
+
     def _on_rejoin_advise(self, proc: "Processor", action: RejoinAdvise) -> None:
         engine = self.engine
         node_id = action.node_id
@@ -594,6 +740,12 @@ class RepairService:
         exactly a first-time join.
         """
         engine = self.engine
+        if not engine.protocol.supports_join:
+            # A fixed-membership protocol has no join path to heal
+            # through; dropping the copy would just lose it.  Keep it
+            # and report the divergence honestly.
+            self.count("unrepairable")
+            return False
         node_id = copy.node_id
         pending = proc.state.setdefault("joining", set())
         if node_id in pending:
@@ -656,14 +808,13 @@ class RepairService:
         as orphans forever.
         """
         engine = self.engine
-        controller = engine.kernel.crash_controller
         mirrors = proc.state.get("mirror_store")
-        if controller is None or not mirrors:
+        if engine.kernel.crash_controller is None or not mirrors:
             return
         dead_homes = {
             home
             for home, _snap in mirrors.values()
-            if not controller.is_alive(home)
+            if not engine.peer_up(proc.pid, home)
         }
         for dead in dead_homes:
             self.count("orphan_sweeps")
@@ -681,13 +832,16 @@ class RepairService:
         converges instead of lingering until the next demand touch.
         """
         engine = self.engine
-        controller = engine.kernel.crash_controller
-        if controller is None:
+        if engine.kernel.crash_controller is None:
             return
+        # Each processor sweeps by its *own* belief (detector opinion
+        # when one is installed, oracle otherwise): under partitions
+        # the sweeps are exactly as fallible as detection itself, and
+        # the same rescind/re-join machinery covers for them.
         dead = [
             pid
             for pid in engine.kernel.pids
-            if pid != proc.pid and not controller.is_alive(pid)
+            if pid != proc.pid and not engine.peer_up(proc.pid, pid)
         ]
         if not dead:
             return

@@ -208,6 +208,12 @@ class CrashController:
         self.kernel = kernel
         self.plan = plan
         self.records: list[CrashRecord] = []
+        #: When True (default), a crash schedules the omniscient
+        #: ``detection_delay`` announcement.  The kernel flips this
+        #: off when a real failure detector (:mod:`repro.sim
+        #: .detector`) is installed: detection is then *earned* from
+        #: heartbeat silence, observer by observer, and may be wrong.
+        self.oracle_detection = True
         self._alive: dict[int, bool] = {pid: True for pid in kernel.pids}
         self._open: dict[int, CrashRecord] = {}
         self._crash_hooks: list[Callable[[int], None]] = []
@@ -270,10 +276,11 @@ class CrashController:
         )
         self.records.append(record)
         self._open[pid] = record
-        kernel.events.schedule(
-            kernel.events.now + self.plan.detection_delay,
-            partial(self._detect, pid, record),
-        )
+        if self.oracle_detection:
+            kernel.events.schedule(
+                kernel.events.now + self.plan.detection_delay,
+                partial(self._detect, pid, record),
+            )
         for hook in self._crash_hooks:
             hook(pid)
 
@@ -309,8 +316,28 @@ class CrashController:
     def note_suspected(self, by_pid: int, dead_pid: int) -> None:
         """The reliable transport gave up on ``dead_pid`` (retry cap)."""
         record = self._open.get(dead_pid)
-        if record is not None:
+        if record is not None and by_pid not in record.suspected_by:
             record.suspected_by.append(by_pid)
+
+    def note_detected(self, dead_pid: int, by_pid: int) -> "CrashRecord | None":
+        """A failure detector locally suspected the (truly dead)
+        ``dead_pid``.
+
+        Stamps ``detected_at`` with the *first* observer's suspicion
+        time and records every distinct suspecting observer.  Returns
+        the record when this call was the first detection (so the
+        caller can account crash-to-detection latency), ``None``
+        otherwise.
+        """
+        record = self._open.get(dead_pid)
+        if record is None:
+            return None
+        if by_pid not in record.suspected_by:
+            record.suspected_by.append(by_pid)
+        if record.detected_at is None:
+            record.detected_at = self.kernel.events.now
+            return record
+        return None
 
     def note_recovered(self, pid: int, time: float) -> None:
         """The engine finished re-joining ``pid`` (grace window ended)."""

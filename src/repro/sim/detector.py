@@ -1,0 +1,412 @@
+"""Earned failure detection: heartbeats and a pluggable detector.
+
+The crash layer's ``detection_delay`` is an oracle: exactly
+``detection_delay`` after a crash, every surviving processor learns
+the truth, simultaneously and infallibly.  Real systems have no such
+channel -- failure is *inferred* from the absence of messages, and
+the inference is sometimes wrong.  This module replaces the oracle
+with the real thing:
+
+* every processor emits a small :class:`Heartbeat` datagram to every
+  peer each ``period`` (unordered, unacknowledged, outside the
+  reliable transport -- heartbeats that queue behind retransmissions
+  would defeat their purpose);
+* every processor runs a local monitor over the heartbeats it
+  receives and forms a *local, possibly wrong* opinion about each
+  peer.
+
+Two detector modes (:class:`DetectorPlan.mode`):
+
+``"timeout"``
+    Suspect a peer when no heartbeat arrived for ``timeout`` time
+    units.  This reproduces the oracle's semantics one observer at a
+    time -- and inherits its failure mode: any latency excursion
+    longer than the timeout (a gray link, a long GC pause) produces a
+    false suspicion.
+
+``"phi"``
+    The phi-accrual detector (Hayashibara et al. 2004, as shipped in
+    Cassandra/Akka): keep a sliding window of observed heartbeat
+    inter-arrival times, model them as a normal distribution, and
+    compute ``phi = -log10(P(gap this large | peer alive))`` for the
+    current silence.  Suspect when ``phi >= phi_threshold``.  Because
+    the window adapts to what the link actually does, a uniformly
+    slow (gray) link widens the model instead of tripping it -- the
+    property the X9 benchmark measures against the timeout detector.
+
+Suspicion is delivered through observer-local hooks (``on_suspect`` /
+``on_rescind``); the engine turns them into per-observer
+``PeerFailure`` / ``PeerRescind`` actions.  Nothing here is global:
+two observers are free to disagree, and the recovery machinery above
+(idempotent re-joins, anti-entropy repair, the checker's "no false
+kill" audit) is what makes that safe.
+
+A heartbeat arriving from a suspected peer rescinds the suspicion
+immediately -- the detector is *eventually accurate* in the
+failure-detector-theory sense, never permanently wrong about a live
+peer whose link heals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Kernel
+
+__all__ = ["DetectorPlan", "Heartbeat", "FailureDetectorService"]
+
+#: Supported detector modes.
+DETECTOR_MODES = ("phi", "timeout")
+
+#: Floor on the tail probability so ``phi`` stays finite.
+_MIN_P = 1e-300
+
+
+class Heartbeat:
+    """The liveness datagram: "processor ``src`` was alive when sent"."""
+
+    __slots__ = ("src",)
+    kind = "heartbeat"
+
+    def __init__(self, src: int) -> None:
+        self.src = src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Heartbeat(src={self.src})"
+
+
+@dataclass(frozen=True)
+class DetectorPlan:
+    """Configuration of the heartbeat failure detector.
+
+    ``mode``
+        ``"phi"`` (adaptive, default) or ``"timeout"`` (fixed).
+    ``period``
+        Heartbeat emission interval; also the monitor evaluation
+        interval.
+    ``timeout``
+        Silence tolerated in ``"timeout"`` mode before suspecting --
+        and the bootstrap criterion in ``"phi"`` mode while a window
+        has fewer than ``min_samples`` observations.
+    ``phi_threshold``
+        Suspicion threshold on phi.  8 (Cassandra's default) means
+        "the chance a live peer is this silent is < 1e-8".
+    ``window``
+        Sliding-window size of inter-arrival samples per observed
+        link.
+    ``min_std``
+        Floor on the modelled standard deviation; prevents a
+        perfectly regular DES arrival stream from collapsing sigma to
+        0 and suspecting on the first late beat.  Defaults to
+        ``period``.
+    ``min_samples``
+        Observations required before the phi model is trusted.
+    ``horizon``
+        Virtual time after which heartbeat and monitor chains stop
+        re-arming.  Must be > 0: without it the periodic timers would
+        keep the event queue populated forever and quiescence would
+        be unreachable.
+    """
+
+    mode: str = "phi"
+    period: float = 20.0
+    timeout: float = 50.0
+    phi_threshold: float = 8.0
+    window: int = 64
+    min_std: float | None = None
+    min_samples: int = 3
+    horizon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in DETECTOR_MODES:
+            raise ValueError(
+                f"mode must be one of {DETECTOR_MODES}, got {self.mode!r}"
+            )
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.timeout <= self.period:
+            raise ValueError(
+                f"timeout ({self.timeout}) must exceed the heartbeat "
+                f"period ({self.period}): a quieter-than-one-beat "
+                "threshold suspects every peer on every evaluation"
+            )
+        if self.phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be > 0, got {self.phi_threshold}"
+            )
+        if self.window < 4:
+            raise ValueError(f"window must be >= 4, got {self.window}")
+        if self.min_std is not None and self.min_std <= 0:
+            raise ValueError(f"min_std must be > 0, got {self.min_std}")
+        if self.min_samples < 2:
+            raise ValueError(
+                f"min_samples must be >= 2, got {self.min_samples}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(
+                "the detector needs a finite horizon > 0 (heartbeat "
+                "timers re-arm forever otherwise and the run never "
+                "reaches quiescence)"
+            )
+
+    @property
+    def sigma_floor(self) -> float:
+        """The effective standard-deviation floor."""
+        return self.min_std if self.min_std is not None else self.period
+
+
+class FailureDetectorService:
+    """Heartbeat emission plus per-observer suspicion tracking.
+
+    One service instance covers the whole cluster, but all state is
+    keyed by ``(observer, peer)`` -- there is no shared opinion.  The
+    kernel constructs it when a :class:`DetectorPlan` is supplied and
+    flips the crash controller's ``oracle_detection`` off, so the
+    only path from a crash to a forced unjoin runs through heartbeat
+    silence observed here.
+    """
+
+    def __init__(self, kernel: "Kernel", plan: DetectorPlan) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        # Last heartbeat arrival per (observer, peer).
+        self._last: dict[tuple[int, int], float] = {}
+        # Sliding inter-arrival windows per (observer, peer).
+        self._windows: dict[tuple[int, int], deque[float]] = {}
+        # Current suspicions per observer.
+        self._suspected: dict[int, set[int]] = {
+            pid: set() for pid in kernel.pids
+        }
+        self._suspect_hooks: list[Callable[[int, int], None]] = []
+        self._rescind_hooks: list[Callable[[int, int], None]] = []
+        # Accounting.
+        self.suspicions = 0
+        self.rescinds = 0
+        self.false_suspicions = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        #: Crash-to-first-suspicion latency for *real* crashes.
+        self.detection_latencies: list[float] = []
+        # Samples larger than this are treated as stream resumption
+        # (peer restart, healed partition) and kept out of the model:
+        # one crash-sized gap would blow sigma up for a full window.
+        self._sample_cap = plan.period * 20.0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm every processor's heartbeat and monitor chains."""
+        kernel = self.kernel
+        pids = kernel.pids
+        n = len(pids)
+        stagger = self.plan.period / max(n, 1)
+        for index, pid in enumerate(pids):
+            proc = kernel.processors[pid]
+            # Stagger first beats so n processors do not all emit on
+            # the same instant forever (deterministic, seed-free).
+            first = index * stagger
+            kernel.events.schedule(
+                first, partial(self._heartbeat_tick, pid, proc.incarnation)
+            )
+            kernel.events.schedule(
+                first + self.plan.period,
+                partial(self._monitor_tick, pid, proc.incarnation),
+            )
+        controller = kernel.crash_controller
+        if controller is not None:
+            controller.on_restart(self._on_restart)
+
+    def on_suspect(self, hook: Callable[[int, int], None]) -> None:
+        """Run ``hook(observer, peer)`` when observer starts suspecting."""
+        self._suspect_hooks.append(hook)
+
+    def on_rescind(self, hook: Callable[[int, int], None]) -> None:
+        """Run ``hook(observer, peer)`` when a suspicion is withdrawn."""
+        self._rescind_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_suspected(self, observer: int, peer: int) -> bool:
+        """Observer's current (local, fallible) opinion of peer."""
+        return peer in self._suspected[observer]
+
+    def suspected_by(self, observer: int) -> set[int]:
+        """Copy of everything ``observer`` currently suspects."""
+        return set(self._suspected[observer])
+
+    def phi(self, observer: int, peer: int) -> float:
+        """Current phi for the link, 0.0 before any heartbeat."""
+        last = self._last.get((observer, peer))
+        if last is None:
+            return 0.0
+        gap = self.kernel.events.now - last
+        return self._phi_of_gap((observer, peer), gap)
+
+    def summary(self) -> dict[str, Any]:
+        """Plain-dict report for :func:`repro.stats.detector_summary`."""
+        latencies = self.detection_latencies
+        return {
+            "enabled": True,
+            "mode": self.plan.mode,
+            "period": self.plan.period,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_received": self.heartbeats_received,
+            "suspicions": self.suspicions,
+            "rescinds": self.rescinds,
+            "false_suspicions": self.false_suspicions,
+            "mean_detection_latency": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # heartbeat emission
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self, pid: int, incarnation: int) -> None:
+        kernel = self.kernel
+        proc = kernel.processors[pid]
+        if not proc.alive or proc.incarnation != incarnation:
+            return  # chain died with its incarnation; restart re-arms
+        now = kernel.events.now
+        if now > self.plan.horizon:
+            return
+        network = kernel.network
+        for peer in kernel.pids:
+            if peer == pid:
+                continue
+            network.send_datagram(
+                pid, peer, Heartbeat(pid), self._on_heartbeat
+            )
+            self.heartbeats_sent += 1
+        kernel.events.schedule(
+            now + self.plan.period,
+            partial(self._heartbeat_tick, pid, incarnation),
+        )
+
+    def _on_heartbeat(self, dst: int, beat: Heartbeat) -> None:
+        observer, peer = dst, beat.src
+        self.heartbeats_received += 1
+        now = self.kernel.events.now
+        key = (observer, peer)
+        prev = self._last.get(key)
+        self._last[key] = now
+        if prev is not None:
+            gap = now - prev
+            if gap <= self._sample_cap:
+                window = self._windows.get(key)
+                if window is None:
+                    window = deque(maxlen=self.plan.window)
+                    self._windows[key] = window
+                window.append(gap)
+        if peer in self._suspected[observer]:
+            # Proof of life beats any model: rescind immediately.
+            self._suspected[observer].discard(peer)
+            self.rescinds += 1
+            for hook in self._rescind_hooks:
+                hook(observer, peer)
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def _monitor_tick(self, pid: int, incarnation: int) -> None:
+        kernel = self.kernel
+        proc = kernel.processors[pid]
+        if not proc.alive or proc.incarnation != incarnation:
+            return
+        now = kernel.events.now
+        if now > self.plan.horizon:
+            return
+        self._evaluate(pid, now)
+        kernel.events.schedule(
+            now + self.plan.period,
+            partial(self._monitor_tick, pid, incarnation),
+        )
+
+    def _evaluate(self, observer: int, now: float) -> None:
+        suspected = self._suspected[observer]
+        for peer in self.kernel.pids:
+            if peer == observer or peer in suspected:
+                continue
+            last = self._last.get((observer, peer))
+            if last is None:
+                continue  # never heard from it; no baseline to judge by
+            gap = now - last
+            if self._should_suspect((observer, peer), gap):
+                self._suspect(observer, peer, now)
+
+    def _should_suspect(self, key: tuple[int, int], gap: float) -> bool:
+        plan = self.plan
+        if plan.mode == "timeout":
+            return gap > plan.timeout
+        window = self._windows.get(key)
+        if window is None or len(window) < plan.min_samples:
+            # Phi needs a model; until the window warms up, fall back
+            # to the timeout criterion so an early crash is still
+            # caught.
+            return gap > plan.timeout
+        return self._phi_of_gap(key, gap) >= plan.phi_threshold
+
+    def _phi_of_gap(self, key: tuple[int, int], gap: float) -> float:
+        window = self._windows.get(key)
+        if not window or len(window) < self.plan.min_samples:
+            return 0.0
+        n = len(window)
+        mean = sum(window) / n
+        var = sum((x - mean) ** 2 for x in window) / n
+        sigma = max(math.sqrt(var), self.plan.sigma_floor)
+        z = (gap - mean) / sigma
+        # P(silence >= gap | alive) under the normal model.
+        p_later = 0.5 * math.erfc(z / math.sqrt(2.0))
+        return -math.log10(max(p_later, _MIN_P))
+
+    def _suspect(self, observer: int, peer: int, now: float) -> None:
+        self._suspected[observer].add(peer)
+        self.suspicions += 1
+        controller = self.kernel.crash_controller
+        if controller is not None:
+            if controller.is_alive(peer):
+                # The oracle knows better: this opinion is wrong.
+                # Count it -- false-suspicion rate is the X9 metric --
+                # but deliver it anyway; surviving wrong opinions is
+                # the recovery machinery's job.
+                self.false_suspicions += 1
+            else:
+                record = controller.note_detected(peer, observer)
+                if record is not None:
+                    self.detection_latencies.append(now - record.crashed_at)
+        for hook in self._suspect_hooks:
+            hook(observer, peer)
+
+    # ------------------------------------------------------------------
+    # crash/restart integration
+    # ------------------------------------------------------------------
+    def _on_restart(self, pid: int) -> None:
+        """Re-arm ``pid``'s chains and wipe its volatile opinions."""
+        kernel = self.kernel
+        now = kernel.events.now
+        # Its monitor memory died with it (crash-stop): fresh windows,
+        # no suspicions carried over.
+        self._suspected[pid] = set()
+        for key in [k for k in self._last if k[0] == pid]:
+            del self._last[key]
+        for key in [k for k in self._windows if k[0] == pid]:
+            del self._windows[key]
+        if now > self.plan.horizon:
+            return
+        proc = kernel.processors[pid]
+        kernel.events.schedule(
+            now, partial(self._heartbeat_tick, pid, proc.incarnation)
+        )
+        kernel.events.schedule(
+            now + self.plan.period,
+            partial(self._monitor_tick, pid, proc.incarnation),
+        )

@@ -151,6 +151,10 @@ class NetworkStats:
     #: messages/frames that arrived at a crashed processor and were
     #: discarded (or bounced) by the dead-peer policy.
     dead_letters: int = 0
+    #: messages/frames silently swallowed by an active partition cut
+    #: (:mod:`repro.sim.partition`); indistinguishable from loss at
+    #: the sender, which is the point.
+    partition_blocked: int = 0
     by_kind: Counter = field(default_factory=Counter)
     by_channel: Counter = field(default_factory=Counter)
 
@@ -175,6 +179,7 @@ class NetworkStats:
             "dup_suppressed": self.dup_suppressed,
             "resequenced": self.resequenced,
             "dead_letters": self.dead_letters,
+            "partition_blocked": self.partition_blocked,
             "physical_sent": self.physical_sent,
             "by_kind": dict(self.by_kind),
             "by_channel": dict(self.by_channel),
@@ -262,6 +267,10 @@ class Network:
         # Schedule permuter (repro.sim.permute), installed only by the
         # permutation-replay checker; None keeps the fast path intact.
         self._permuter = None
+        # Partition controller (repro.sim.partition), installed only
+        # when a partition plan is active; None keeps the fast path
+        # byte-identical.
+        self._partition = None
         self.stats = NetworkStats()
 
     def install_delivery(self, deliver: Callable[[int, Any], None]) -> None:
@@ -296,9 +305,10 @@ class Network:
         """Route deliveries through a schedule permuter.
 
         Only legal on the paper's reliable network: fault plans,
-        enforced reliability, and crash liveness each already change
-        delivery order or fate, which would confound the permuter's
-        claim that any state divergence is caused by its swaps.
+        enforced reliability, crash liveness, and partitions each
+        already change delivery order or fate, which would confound
+        the permuter's claim that any state divergence is caused by
+        its swaps.
         """
         if self.transport is not None:
             raise ValueError(
@@ -309,8 +319,27 @@ class Network:
             raise ValueError("schedule permuter is incompatible with a fault plan")
         if self._liveness is not None:
             raise ValueError("schedule permuter is incompatible with a crash plan")
+        if self._partition is not None:
+            raise ValueError(
+                "schedule permuter is incompatible with a partition plan"
+            )
         self._permuter = permuter
         permuter.install_deliver(self._fire)
+
+    def install_partition(self, controller: Any) -> None:
+        """Route every transmission past a partition controller.
+
+        The controller's ``judge(src, dst)`` is consulted per logical
+        message (assumed mode) or per physical frame (enforced mode,
+        so retransmissions into a cut are swallowed afresh, exactly
+        like real packets): a cut link drops the transmission
+        silently, a gray link multiplies its transit time.
+        """
+        if self._permuter is not None:
+            raise ValueError(
+                "partition plan is incompatible with the schedule permuter"
+            )
+        self._partition = controller
 
     def reset_stats(self) -> None:
         """Zero the accounting counters (e.g. after a warm-up phase)."""
@@ -341,10 +370,19 @@ class Network:
 
         if self.transport is not None:
             # Enforced mode: the reliable layer frames the payload and
-            # owns ordering/dedup; the substrate (fault plan + latency)
-            # is applied per physical frame in _transmit_frame.
+            # owns ordering/dedup; the substrate (fault plan + latency
+            # + partition) is applied per physical frame in
+            # _transmit_frame.
             self.transport.send(src, dst, payload)
             return
+
+        latency_factor = 1.0
+        if self._partition is not None:
+            up, latency_factor = self._partition.judge(src, dst)
+            if not up:
+                if self._count_totals:
+                    self.stats.partition_blocked += 1
+                return
 
         if self._fault_plan is None:
             # No-fault fast path: the paper's reliable exactly-once
@@ -352,6 +390,8 @@ class Network:
             transit = self._fixed_latency
             if transit is None:
                 transit = self._latency_model.latency(src, dst, self._rng)
+            if latency_factor != 1.0:
+                transit *= latency_factor
             events = self._events
             arrival = events.now + transit
             channel = (src, dst)
@@ -381,11 +421,16 @@ class Network:
                 # A reorder/duplicate verdict bypasses the FIFO clamp;
                 # that is the point of the fault injection.
                 transit = (
-                    self._latency_model.latency(src, dst, self._rng) + extra_delay
+                    self._latency_model.latency(src, dst, self._rng)
+                    * latency_factor
+                    + extra_delay
                 )
                 arrival = self._events.now + transit
             else:
-                transit = self._latency_model.latency(src, dst, self._rng)
+                transit = (
+                    self._latency_model.latency(src, dst, self._rng)
+                    * latency_factor
+                )
                 arrival = self._events.now + transit
                 channel = (src, dst)
                 floor = self._channel_clock.get(channel)
@@ -424,6 +469,55 @@ class Network:
             )
 
     # ------------------------------------------------------------------
+    # datagrams (failure-detector heartbeats)
+    # ------------------------------------------------------------------
+    def send_datagram(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        deliver: Callable[[int, Any], None],
+    ) -> None:
+        """Fire-and-forget delivery outside the logical message path.
+
+        Heartbeats must not queue behind the traffic whose absence
+        they are supposed to reveal, so datagrams bypass the reliable
+        transport (no framing, no retransmission -- a lost heartbeat
+        is *information*, not an error), the per-channel FIFO clamp,
+        the fault plan, and the message accounting.  Partition cuts,
+        gray inflation, and crash-stop liveness still apply: a
+        datagram to an unreachable or dead destination vanishes.
+
+        Delivery invokes ``deliver(dst, payload)`` directly rather
+        than the processor queue: reading a heartbeat costs no
+        service time and survives queue saturation, like a kernel
+        timestamping a packet before the application gets scheduled.
+        """
+        latency_factor = 1.0
+        if self._partition is not None:
+            up, latency_factor = self._partition.judge(src, dst)
+            if not up:
+                if self._count_totals:
+                    self.stats.partition_blocked += 1
+                return
+        transit = self._fixed_latency
+        if transit is None:
+            transit = self._latency_model.latency(src, dst, self._rng)
+        if latency_factor != 1.0:
+            transit *= latency_factor
+        self._events.push(
+            self._events.now + transit,
+            partial(self._datagram_arrival, dst, payload, deliver),
+        )
+
+    def _datagram_arrival(
+        self, dst: int, payload: Any, deliver: Callable[[int, Any], None]
+    ) -> None:
+        if self._liveness is not None and not self._liveness(dst):
+            return  # a dead host reads no datagrams; not even a dead letter
+        deliver(dst, payload)
+
+    # ------------------------------------------------------------------
     # enforced-reliability plumbing (ReliableTransport calls back in)
     # ------------------------------------------------------------------
     def _transmit_frame(self, src: int, dst: int, frame: Any) -> None:
@@ -437,10 +531,22 @@ class Network:
         enforcement end-to-end rather than cosmetic.
         """
         events = self._events
+        latency_factor = 1.0
+        if self._partition is not None:
+            # Judged per physical frame: retransmissions into a cut
+            # keep vanishing, and the sender's retry/suspicion logic
+            # reacts exactly as it would to sustained loss.
+            up, latency_factor = self._partition.judge(src, dst)
+            if not up:
+                if self._count_totals:
+                    self.stats.partition_blocked += 1
+                return
         if self._fault_plan is None:
             transit = self._fixed_latency
             if transit is None:
                 transit = self._latency_model.latency(src, dst, self._rng)
+            if latency_factor != 1.0:
+                transit *= latency_factor
             events.push(
                 events.now + transit, partial(self._frame_arrival, src, dst, frame)
             )
@@ -452,7 +558,10 @@ class Network:
                 if count_totals:
                     self.stats.dropped += 1
                 continue
-            transit = self._latency_model.latency(src, dst, self._rng) + extra_delay
+            transit = (
+                self._latency_model.latency(src, dst, self._rng) * latency_factor
+                + extra_delay
+            )
             events.push(
                 events.now + transit, partial(self._frame_arrival, src, dst, frame)
             )

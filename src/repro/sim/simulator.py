@@ -13,9 +13,11 @@ import random
 from typing import Any, Callable, Iterable
 
 from repro.sim.crash import CrashController, CrashPlan
+from repro.sim.detector import DetectorPlan, FailureDetectorService
 from repro.sim.events import EventQueue
 from repro.sim.failure import FaultPlan
 from repro.sim.network import LatencyModel, Network, UniformLatency
+from repro.sim.partition import PartitionController, PartitionPlan
 from repro.sim.permute import PermutePlan, SchedulePermuter
 from repro.sim.processor import Processor, ServiceTimeFn
 from repro.sim.reliable import ReliabilityConfig, ReliabilityError
@@ -72,6 +74,20 @@ class Kernel:
         (:mod:`repro.verify.permute`).  Incompatible with fault
         plans, crash plans, and enforced reliability.  ``None``
         (default) keeps the fast path byte-identical.
+    partition_plan:
+        Optional :class:`~repro.sim.partition.PartitionPlan` of link
+        cuts (full splits, one-way outages) and gray failures
+        (latency inflation).  Composable with fault, crash, and
+        repair layers; incompatible with the permuter.  ``None``
+        (default) keeps the fast path byte-identical.
+    detector_plan:
+        Optional :class:`~repro.sim.detector.DetectorPlan`.  Installs
+        per-processor heartbeats and a local failure detector
+        (timeout or phi-accrual) that *replaces* the crash
+        controller's omniscient ``detection_delay`` announcement:
+        suspicion becomes a per-observer, fallible opinion.  Implies
+        a (possibly inert) crash controller.  ``None`` (default)
+        keeps the oracle semantics.
     """
 
     #: Default guard on run length; large enough for every experiment
@@ -90,9 +106,19 @@ class Kernel:
         reliability_config: ReliabilityConfig | None = None,
         crash_plan: CrashPlan | None = None,
         permute_plan: PermutePlan | None = None,
+        partition_plan: PartitionPlan | None = None,
+        detector_plan: DetectorPlan | None = None,
     ) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
+        if detector_plan is not None and crash_plan is None:
+            # The detector drives suspicion *through* the crash
+            # controller's machinery (liveness oracle for ground
+            # truth, availability records, recovery hooks), so an
+            # inert plan is synthesized when none was given -- no
+            # crashes will fire, but partitions/gray links can still
+            # provoke (false) suspicions worth studying.
+            crash_plan = CrashPlan()
         self.events = EventQueue()
         self.rng = random.Random(seed)
         self.seed = seed
@@ -154,6 +180,32 @@ class Kernel:
             if transport is not None:
                 transport.install_peer_down(self._on_peer_down)
             controller.install()
+        #: Partition controller; None keeps every link permanently up
+        #: and the network fast path byte-identical.
+        self.partition_plan = partition_plan
+        self.partition_controller: PartitionController | None = None
+        if partition_plan is not None:
+            partition = PartitionController(
+                self.events,
+                partition_plan,
+                tuple(range(num_processors)),
+                random.Random(self.seeds.derive("partition")),
+            )
+            self.partition_controller = partition
+            self.network.install_partition(partition)
+            partition.on_heal(self._on_partition_heal)
+            partition.install()
+        #: Failure detector service; None keeps detection with the
+        #: crash controller's detection_delay oracle.
+        self.detector_plan = detector_plan
+        self.detector: FailureDetectorService | None = None
+        if detector_plan is not None:
+            self.detector = FailureDetectorService(self, detector_plan)
+            # Earned detection replaces the oracle announcement: the
+            # only path from a crash (or a partition) to suspicion now
+            # runs through heartbeat silence at each observer.
+            self.crash_controller.oracle_detection = False
+            self.detector.start()
 
     @property
     def now(self) -> float:
@@ -212,6 +264,17 @@ class Kernel:
             controller.note_suspected(src, dst)
         for handler in self.peer_down_handlers:
             handler(src, dst, lost)
+
+    def _on_partition_heal(self, pairs: tuple[tuple[int, int], ...]) -> None:
+        """Connectivity returned on ``pairs``: kick repair awake.
+
+        A healed partition is precisely when divergent mirror sets
+        and missed relays become reconcilable; waiting out the gossip
+        dormancy window would just delay the inevitable audit.
+        """
+        service = self.repair_service
+        if service is not None:
+            service.scheduler.wake_all()
 
     def run_to_quiescence(self, max_events: int | None = None) -> int:
         """Run until no events remain; return the number executed.

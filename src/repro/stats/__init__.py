@@ -9,10 +9,12 @@
 
 from repro.stats.metrics import (
     availability_summary,
+    detector_summary,
     latency_summary,
     load_balance,
     message_summary,
     occupancy_histogram,
+    partition_summary,
     permutation_summary,
     reliability_summary,
     repair_summary,
@@ -34,6 +36,8 @@ from repro.stats.timeseries import (
 
 __all__ = [
     "availability_summary",
+    "detector_summary",
+    "partition_summary",
     "latency_summary",
     "load_balance",
     "message_summary",

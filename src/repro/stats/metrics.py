@@ -108,8 +108,10 @@ def availability_summary(
             leaves_rehomed=counters.get("leaves_rehomed", 0),
             eager_rereplications=counters.get("eager_rereplications", 0),
             op_retries=counters.get("op_retries", 0),
+            op_backoff_delay_total=counters.get("op_backoff_delay_total", 0),
             ops_timed_out=counters.get("ops_timed_out", 0),
             ops_failed=counters.get("ops_failed", 0),
+            peer_rescinds=counters.get("peer_rescinds", 0),
         )
     return summary
 
@@ -161,6 +163,19 @@ def repair_summary(
         "digest_bytes": service.digest_bytes,
         "repairs_by_kind": repairs_by_kind,
         "repairs_total": sum(repairs_by_kind.values()),
+        # double-home reconciliation after a healed partition (kept
+        # out of repairs_by_kind: a conflict is detected once but
+        # resolved by two processors, so the totals would double-count)
+        "home_resolution": {
+            kind: counters.get(kind, 0)
+            for kind in (
+                "home_conflicts",
+                "home_resolves_won",
+                "home_resolves_ceded",
+                "home_resolves_moot",
+            )
+        },
+        "unrepairable": counters.get("unrepairable", 0),
         "time_to_convergence": (
             max(0.0, kernel.now - last_dirty) if last_dirty > 0.0 else 0.0
         ),
@@ -185,6 +200,43 @@ def permutation_summary(kernel: "Kernel") -> dict[str, Any]:
         **permuter.snapshot(),
         "seeds": kernel.seeds.snapshot(),
     }
+
+
+def detector_summary(kernel: "Kernel") -> dict[str, Any]:
+    """Failure-detector accounting (X9 quantities).
+
+    Summarises the
+    :class:`~repro.sim.detector.FailureDetectorService` counters:
+    heartbeats sent/received, suspicions raised and rescinded, how
+    many suspicions were *false* (the suspected processor was alive
+    at the oracle), and the mean detection latency for real crashes.
+    Returns ``{"enabled": False}`` when no detector is installed, so
+    callers can embed it unconditionally.
+    """
+    detector = getattr(kernel, "detector", None)
+    if detector is None:
+        return {"enabled": False}
+    return detector.summary()
+
+
+def partition_summary(kernel: "Kernel") -> dict[str, Any]:
+    """Partition fault-layer accounting (X9 quantities).
+
+    Summarises the
+    :class:`~repro.sim.partition.PartitionController` counters --
+    cuts applied and healed, gray (latency-inflation) windows, links
+    still open at quiescence -- plus the network-level count of
+    messages a cut swallowed.  Returns ``{"enabled": False}`` when no
+    partition layer is installed.
+    """
+    controller = getattr(kernel, "partition_controller", None)
+    if controller is None:
+        return {"enabled": False}
+    summary = controller.summary()
+    summary["messages_blocked"] = getattr(
+        kernel.network.stats, "partition_blocked", 0
+    )
+    return summary
 
 
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:

@@ -435,6 +435,51 @@ def check_digest_convergence(engine: "DBTreeEngine") -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# no false kill (earned-detection audit)
+# ----------------------------------------------------------------------
+def check_false_kill(engine: "DBTreeEngine") -> list[str]:
+    """With an earned failure detector, suspicion is a local opinion
+    and may be wrong -- but wrong opinions must not *stick*.
+
+    At quiescence every pair of (oracle-)alive processors must have
+    reconciled: neither still suspects the other at the detector
+    layer, and neither still lists the other in its engine-level
+    ``dead_peers`` set.  A violation means a live processor was
+    permanently written off on the word of a detector -- a "false
+    kill", the one failure mode an accrual detector plus rescission
+    plus anti-entropy is supposed to make impossible.
+    """
+    problems = []
+    kernel = engine.kernel
+    controller = kernel.crash_controller
+    detector = getattr(kernel, "detector", None)
+
+    def alive(pid: int) -> bool:
+        return controller is None or controller.is_alive(pid)
+
+    live = sorted(
+        pid for pid in kernel.processors if alive(pid)
+    )
+    for observer in live:
+        if detector is not None:
+            for peer in detector.suspected_by(observer):
+                if alive(peer):
+                    problems.append(
+                        f"pid {observer}: detector still suspects "
+                        f"alive pid {peer} at quiescence"
+                    )
+        proc = kernel.processor(observer)
+        dead_peers = proc.state.get("dead_peers") or ()
+        for peer in sorted(dead_peers):
+            if alive(peer):
+                problems.append(
+                    f"pid {observer}: alive pid {peer} still in "
+                    "dead_peers at quiescence (false kill)"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
 # store/trace consistency
 # ----------------------------------------------------------------------
 def check_trace_store_agreement(engine: "DBTreeEngine") -> list[str]:
@@ -481,6 +526,8 @@ def check_all(
         report.extend(
             "digest-convergence", check_digest_convergence(engine)
         )
+    if getattr(engine.kernel, "detector", None) is not None:
+        report.extend("false-kill", check_false_kill(engine))
     if expected is not None:
         uncertain = {
             trace.operations[op_id].key

@@ -51,3 +51,53 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_demo_with_partition_and_detector(self, capsys):
+        rc = main(
+            [
+                "demo",
+                "--inserts", "40",
+                "--partition", "0,1@400:900",
+                "--detector", "timeout",
+                "--detector-horizon", "3000",
+                "--op-timeout", "300",
+                "--replication-factor", "2",
+                "--repair-period", "100",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "audit: CheckReport(OK" in out
+        assert "partition:" in out
+        assert "detector (" in out
+
+    def test_faults_inventory(self, capsys):
+        rc = main(
+            [
+                "faults",
+                "--inserts", "20",
+                "--partition", "0,1@100:300",
+                "--detector", "phi",
+                "--detector-horizon", "1500",
+                "--op-timeout", "200",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault layers @" in out
+        assert "partition   on" in out
+        assert "detector    on" in out
+        assert "seeds:" in out
+        assert "partition" in out.split("seeds:")[1]
+
+    def test_faults_all_layers_off(self, capsys):
+        assert main(["faults", "--inserts", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "partition   off" in out
+        assert "detector    off" in out
+
+    def test_partition_spec_validation(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--partition", "0,1@"])
+        with pytest.raises(SystemExit):
+            main(["demo", "--partition-gray", "0>1@100:200"])  # no factor

@@ -1,0 +1,277 @@
+"""Earned failure detection: heartbeats, timeout and phi-accrual.
+
+Covers :mod:`repro.sim.detector`: plan validation, heartbeat
+emission/arrival over the datagram path, suspicion earned from
+silence (not from the crash layer's oracle), rescission when a
+suspected peer speaks again, the phi-accrual detector's adaptation to
+observed inter-arrival distributions (the gray-failure acceptance
+scenario), and the engine-level consequences -- false suspicion of a
+live processor must heal back to a clean audit with no leaf loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CrashPlan,
+    DBTreeCluster,
+    DetectorPlan,
+    PartitionPlan,
+)
+from repro.stats import availability_summary, detector_summary
+
+
+def detector_cluster(
+    detector_plan,
+    protocol="variable",
+    seed=3,
+    crash_plan=None,
+    partition_plan=None,
+    **kwargs,
+):
+    kwargs.setdefault("op_timeout", 300.0)
+    kwargs.setdefault("op_retries", 8)
+    kwargs.setdefault("capacity", 8)
+    return DBTreeCluster(
+        num_processors=4,
+        protocol=protocol,
+        seed=seed,
+        crash_plan=crash_plan,
+        partition_plan=partition_plan,
+        detector_plan=detector_plan,
+        **kwargs,
+    )
+
+
+def spaced_inserts(cluster, count=40, spacing=10.0):
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = (index * 7) % 2003
+        expected[key] = index
+        cluster.schedule(
+            index * spacing, "insert", key, index,
+            client=pids[index % len(pids)],
+        )
+    return expected
+
+
+# ----------------------------------------------------------------------
+# DetectorPlan validation
+# ----------------------------------------------------------------------
+class TestPlanValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            DetectorPlan(mode="oracle", horizon=100.0)
+
+    def test_horizon_required(self):
+        with pytest.raises(ValueError, match="horizon"):
+            DetectorPlan()
+
+    def test_timeout_must_exceed_period(self):
+        with pytest.raises(ValueError, match="timeout"):
+            DetectorPlan(period=50.0, timeout=50.0, horizon=100.0)
+
+    def test_window_floor(self):
+        with pytest.raises(ValueError, match="window"):
+            DetectorPlan(window=2, horizon=100.0)
+
+    def test_sigma_floor_defaults_to_period(self):
+        plan = DetectorPlan(period=25.0, horizon=100.0)
+        assert plan.sigma_floor == 25.0
+        assert DetectorPlan(
+            period=25.0, min_std=4.0, horizon=100.0
+        ).sigma_floor == 4.0
+
+
+# ----------------------------------------------------------------------
+# heartbeats and suspicion mechanics
+# ----------------------------------------------------------------------
+class TestHeartbeats:
+    def test_heartbeats_flow_and_none_suspected_on_quiet_cluster(self):
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", horizon=1000.0)
+        )
+        expected = spaced_inserts(cluster, count=20)
+        cluster.run()
+        summary = detector_summary(cluster.kernel)
+        assert summary["enabled"]
+        assert summary["heartbeats_sent"] > 0
+        assert summary["heartbeats_received"] == summary["heartbeats_sent"]
+        assert summary["suspicions"] == 0
+        assert summary["false_suspicions"] == 0
+        assert cluster.check(expected=expected).ok
+
+    def test_heartbeats_bypass_transport_accounting(self):
+        # Datagrams must not count as logical messages or disturb the
+        # reliable transport's sequence space.
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", horizon=500.0),
+            reliability="enforced",
+        )
+        baseline = detector_cluster(None, reliability="enforced", seed=3)
+        expected = spaced_inserts(cluster, count=20)
+        spaced_inserts(baseline, count=20)
+        cluster.run()
+        baseline.run()
+        assert (
+            cluster.kernel.network.stats.sent
+            == baseline.kernel.network.stats.sent
+        )
+        assert cluster.check(expected=expected).ok
+
+    def test_crash_is_suspected_without_oracle(self):
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", timeout=50.0, horizon=3000.0),
+            crash_plan=CrashPlan(schedule=((1, 400.0, 600.0),)),
+            replication_factor=2,
+            repair_period=100.0,
+        )
+        expected = spaced_inserts(cluster)
+        results = cluster.run()
+        assert results.ok
+        assert cluster.check(expected=expected).ok
+        summary = detector_summary(cluster.kernel)
+        # all three survivors earn the suspicion themselves
+        assert summary["suspicions"] == 3
+        assert summary["false_suspicions"] == 0
+        assert summary["mean_detection_latency"] is not None
+        assert summary["mean_detection_latency"] >= 50.0
+        # the oracle never ran: detection shows up in the crash
+        # record via the detector's note_detected path
+        controller = cluster.kernel.crash_controller
+        assert controller.oracle_detection is False
+        record = controller.records[0]
+        assert record.detected_at is not None
+        assert sorted(record.suspected_by) == [0, 2, 3]  # deduplicated
+
+    def test_restart_rescinds_suspicion(self):
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", timeout=50.0, horizon=3000.0),
+            crash_plan=CrashPlan(schedule=((1, 400.0, 600.0),)),
+            replication_factor=2,
+        )
+        expected = spaced_inserts(cluster)
+        cluster.run()
+        summary = detector_summary(cluster.kernel)
+        assert summary["rescinds"] == summary["suspicions"] > 0
+        detector = cluster.kernel.detector
+        for observer in (0, 2, 3):
+            assert not detector.is_suspected(observer, 1)
+        assert cluster.check(expected=expected).ok
+
+    def test_detector_without_crash_plan_synthesizes_crash_layer(self):
+        cluster = detector_cluster(
+            DetectorPlan(mode="phi", horizon=1000.0)
+        )
+        assert cluster.kernel.crash_controller is not None
+        assert cluster.kernel.crash_controller.oracle_detection is False
+        expected = spaced_inserts(cluster, count=20)
+        cluster.run()
+        assert cluster.check(expected=expected).ok
+
+    def test_phi_warmup_falls_back_to_timeout(self):
+        # Below min_samples the phi detector must still catch an
+        # immediate crash via the timeout criterion.
+        cluster = detector_cluster(
+            DetectorPlan(
+                mode="phi", timeout=60.0, min_samples=1000, horizon=2000.0
+            ),
+            crash_plan=CrashPlan(schedule=((2, 100.0, None),)),
+            replication_factor=2,
+        )
+        spaced_inserts(cluster, count=20)
+        cluster.run()
+        summary = detector_summary(cluster.kernel)
+        assert summary["suspicions"] == 3
+        assert summary["false_suspicions"] == 0
+
+
+# ----------------------------------------------------------------------
+# the gray-failure acceptance scenario
+# ----------------------------------------------------------------------
+class TestGrayFailure:
+    GRAY = PartitionPlan(gray=((500.0, 2500.0, 1, None, 10.0),))
+
+    def run_mode(self, mode):
+        cluster = detector_cluster(
+            DetectorPlan(mode=mode, horizon=4000.0),
+            protocol="semisync",
+            seed=2,
+            partition_plan=self.GRAY,
+            op_timeout=500.0,
+        )
+        expected = spaced_inserts(cluster)
+        results = cluster.run()
+        return cluster, expected, results
+
+    def test_timeout_detector_false_suspects_then_rescinds(self):
+        cluster, expected, results = self.run_mode("timeout")
+        summary = detector_summary(cluster.kernel)
+        assert summary["false_suspicions"] > 0
+        assert summary["rescinds"] == summary["suspicions"]
+        assert results.ok
+        assert cluster.check(expected=expected).ok
+
+    def test_phi_detector_adapts_and_never_suspects(self):
+        cluster, expected, results = self.run_mode("phi")
+        summary = detector_summary(cluster.kernel)
+        assert summary["suspicions"] == 0
+        assert summary["false_suspicions"] == 0
+        assert results.ok
+        assert cluster.check(expected=expected).ok
+
+
+# ----------------------------------------------------------------------
+# engine consequences of false suspicion
+# ----------------------------------------------------------------------
+class TestFalseSuspicionHeals:
+    def test_partitioned_live_processor_readmitted_no_leaf_loss(self):
+        # A healed split: both sides falsely suspect each other, the
+        # variable protocol force-unjoins live processors, and the
+        # anti-entropy layer re-admits them -- clean audit, no lost
+        # keys, nobody still written off (check_false_kill).
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", horizon=6000.0),
+            partition_plan=PartitionPlan(
+                splits=((800.0, 1400.0, (0, 1)),)
+            ),
+            seed=9,
+            capacity=16,
+            op_retries=10,
+            replication_factor=2,
+            repair_period=100.0,
+        )
+        expected = spaced_inserts(cluster, count=60)
+        results = cluster.run()
+        assert results.ok
+        report = cluster.check(expected=expected)
+        assert report.ok, report.problems
+        summary = detector_summary(cluster.kernel)
+        assert summary["false_suspicions"] > 0
+        assert summary["rescinds"] == summary["suspicions"]
+        avail = availability_summary(cluster.kernel, cluster.trace)
+        assert avail["crashes"] == 0
+        assert avail["peer_rescinds"] > 0
+        # suspicion state fully cleared at quiescence
+        detector = cluster.kernel.detector
+        for observer in cluster.kernel.pids:
+            assert not detector.suspected_by(observer)
+        for proc in cluster.kernel.processors.values():
+            assert not proc.state.get("dead_peers")
+
+    def test_false_kill_checker_flags_stuck_suspicion(self):
+        from repro.verify.checker import check_false_kill
+
+        cluster = detector_cluster(
+            DetectorPlan(mode="timeout", horizon=500.0)
+        )
+        spaced_inserts(cluster, count=10)
+        cluster.run()
+        assert check_false_kill(cluster.engine) == []
+        # forge a stuck opinion of a live peer
+        cluster.kernel.processor(0).state["dead_peers"] = {2}
+        problems = check_false_kill(cluster.engine)
+        assert len(problems) == 1
+        assert "false kill" in problems[0]

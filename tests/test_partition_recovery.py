@@ -1,0 +1,237 @@
+"""Partition-tolerant recovery and its satellites.
+
+The consequences of acting on earned (possibly false) suspicion:
+HomeResolve converging double-homed leaves after a one-way cut heals,
+the decorrelated-jitter retry backoff, the ``bounce`` dead-peer
+policy composed with enforced reliability, and the wiring-time
+validation of ``detection_delay`` against the latency model.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import CrashPlan, DBTreeCluster, DetectorPlan, PartitionPlan
+from repro.sim.network import UniformLatency
+
+
+def spaced_inserts(cluster, count=40, spacing=10.0):
+    expected = {}
+    pids = cluster.kernel.pids
+    for index in range(count):
+        key = (index * 7) % 2003
+        expected[key] = index
+        cluster.schedule(
+            index * spacing, "insert", key, index,
+            client=pids[index % len(pids)],
+        )
+    return expected
+
+
+# ----------------------------------------------------------------------
+# HomeResolve: double-homed leaves reconcile after a heal
+# ----------------------------------------------------------------------
+class TestHomeResolve:
+    def run_one_way_cut(self, seed):
+        # Processor 0 falls silent outbound for 300 units: the other
+        # side suspects it, promotes mirrors of its leaves (re-homes),
+        # and when the link heals both sides claim the same leaves.
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol="variable",
+            capacity=8,
+            seed=seed,
+            partition_plan=PartitionPlan(
+                one_way=((800.0, 1100.0, 0, None),)
+            ),
+            detector_plan=DetectorPlan(mode="timeout", horizon=8000.0),
+            op_timeout=300.0,
+            op_retries=10,
+            replication_factor=2,
+            repair_period=100.0,
+        )
+        expected = spaced_inserts(cluster, count=80)
+        results = cluster.run()
+        report = cluster.check(expected=expected)
+        return cluster, results, report
+
+    @pytest.mark.parametrize("seed", [3, 5])
+    def test_double_homes_converge_to_clean_audit(self, seed):
+        cluster, results, report = self.run_one_way_cut(seed)
+        assert results.ok
+        assert report.ok, report.problems
+        resolution = cluster.repair_summary()["home_resolution"]
+        conflicts = resolution["home_conflicts"]
+        assert conflicts > 0
+        # every conflict resolves exactly once: one side wins the
+        # (version, pid) total order, the other replays and cedes
+        assert resolution["home_resolves_won"] == conflicts
+        assert resolution["home_resolves_ceded"] == conflicts
+        assert cluster.trace.counters.get("leaves_rehomed", 0) > 0
+
+    def test_no_processor_left_written_off(self):
+        cluster, _, _ = self.run_one_way_cut(3)
+        detector = cluster.kernel.detector
+        for observer in cluster.kernel.pids:
+            assert not detector.suspected_by(observer)
+        for proc in cluster.kernel.processors.values():
+            assert not proc.state.get("dead_peers")
+
+
+# ----------------------------------------------------------------------
+# retry backoff with decorrelated jitter
+# ----------------------------------------------------------------------
+class TestRetryBackoff:
+    def crashed_home_cluster(self, seed=3):
+        return DBTreeCluster(
+            num_processors=4,
+            protocol="variable",
+            capacity=8,
+            seed=seed,
+            crash_plan=CrashPlan(schedule=((1, 300.0, 800.0),)),
+            op_timeout=100.0,
+            op_retries=12,
+            replication_factor=2,
+            repair_period=100.0,
+        )
+
+    def test_delay_bounds_and_cap(self):
+        cluster = self.crashed_home_cluster()
+        engine = cluster.engine
+        base = engine.op_timeout
+        cap = base * engine.BACKOFF_CAP
+        delay = base
+        seen_cap = False
+        for _ in range(200):
+            delay = engine._backoff_delay(delay)
+            assert base <= delay <= cap
+            seen_cap = seen_cap or delay == cap
+        # the ladder actually climbs: with prev*3 growth the cap is
+        # reached well within 200 draws
+        assert seen_cap
+
+    def test_first_attempt_is_plain_timeout(self):
+        # No retry -> no jitter, no backoff counter, no rng drawn
+        # (the fast path's pinned traces depend on this).
+        cluster = DBTreeCluster(
+            num_processors=4, protocol="variable", seed=3, op_timeout=500.0
+        )
+        expected = spaced_inserts(cluster, count=20)
+        cluster.run()
+        assert cluster.check(expected=expected).ok
+        assert cluster.trace.counters.get("op_retries", 0) == 0
+        assert cluster.trace.counters.get("op_backoff_delay_total", 0) == 0
+        assert "op-backoff" not in cluster.seed_summary()
+
+    def test_retries_back_off_and_recover(self):
+        cluster = self.crashed_home_cluster()
+        expected = spaced_inserts(cluster)
+        results = cluster.run()
+        assert results.ok
+        assert cluster.check(expected=expected).ok
+        counters = cluster.trace.counters
+        assert counters.get("op_retries", 0) > 0
+        # re-arms accrued jittered delay beyond the base timeout
+        assert counters.get("op_backoff_delay_total", 0) > 0
+        # the jitter rng is ledgered, so it shows up in the summary
+        assert "op-backoff" in cluster.seed_summary()
+
+    def test_backoff_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            cluster = self.crashed_home_cluster(seed=3)
+            spaced_inserts(cluster)
+            cluster.run()
+            outcomes.append(
+                (
+                    cluster.kernel.now,
+                    cluster.trace.counters.get("op_retries", 0),
+                    cluster.trace.counters.get("op_backoff_delay_total", 0),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# dead_peer_policy="bounce" x reliability="enforced"
+# ----------------------------------------------------------------------
+class TestBouncePolicy:
+    def test_bounce_with_enforced_reliability(self):
+        # Bounced frames are counted dead letters, not silent drops;
+        # the reliable transport keeps retransmitting into the dead
+        # window and delivery resumes after the restart.
+        cluster = DBTreeCluster(
+            num_processors=4,
+            protocol="variable",
+            capacity=8,
+            seed=3,
+            crash_plan=CrashPlan(
+                schedule=((1, 400.0, 600.0),), dead_peer_policy="bounce"
+            ),
+            reliability="enforced",
+            op_timeout=300.0,
+            op_retries=8,
+            replication_factor=2,
+            repair_period=100.0,
+        )
+        expected = spaced_inserts(cluster)
+        results = cluster.run()
+        assert results.ok
+        report = cluster.check(expected=expected)
+        assert report.ok, report.problems
+        assert cluster.kernel.network.stats.dead_letters > 0
+
+    def test_bounce_policy_validated(self):
+        with pytest.raises(ValueError, match="dead_peer_policy"):
+            CrashPlan(schedule=((1, 10.0, None),), dead_peer_policy="nack")
+
+
+# ----------------------------------------------------------------------
+# detection_delay validation at cluster wiring
+# ----------------------------------------------------------------------
+class TestDetectionDelayValidation:
+    CRASH = CrashPlan(schedule=((1, 400.0, 600.0),), detection_delay=50.0)
+
+    def test_fixed_latency_violation_still_hard_errors(self):
+        with pytest.raises(ValueError, match="detection_delay"):
+            DBTreeCluster(crash_plan=self.CRASH, latency=50.0)
+
+    def test_jittered_latency_warns(self):
+        # 50 > base 10 (no hard error) but 50 <= 10 + 45: a jittered
+        # transit can outlive the oracle's drained-dead-window
+        # assumption, so the wiring warns.
+        with pytest.warns(RuntimeWarning, match="detection_delay"):
+            cluster = DBTreeCluster(
+                crash_plan=self.CRASH,
+                latency=10.0,
+                latency_jitter=45.0,
+                op_timeout=300.0,
+                replication_factor=2,
+            )
+        assert cluster.kernel.crash_controller is not None
+
+    def test_custom_latency_model_warns(self):
+        with pytest.warns(RuntimeWarning, match="cannot validate"):
+            DBTreeCluster(
+                crash_plan=self.CRASH,
+                latency_model=UniformLatency(base=10.0),
+                op_timeout=300.0,
+                replication_factor=2,
+            )
+
+    def test_detector_retires_the_assumption(self):
+        # An earned detector replaces the oracle, so neither the hard
+        # error nor the warning applies -- even with a latency model
+        # the oracle could never have validated against.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cluster = DBTreeCluster(
+                crash_plan=self.CRASH,
+                latency_model=UniformLatency(base=10.0, jitter=45.0),
+                detector_plan=DetectorPlan(mode="timeout", horizon=2000.0),
+                op_timeout=300.0,
+                replication_factor=2,
+            )
+        assert cluster.kernel.crash_controller.oracle_detection is False
