@@ -40,6 +40,8 @@ EXPERIMENTS = [
     ("x6", "bench_x6_crash_recovery"),
     ("x7", "bench_x7_anti_entropy"),
     ("x8", "bench_x8_permutation"),
+    ("x9", "bench_x9_partition"),
+    ("x10", "bench_x10_sharding"),
 ]
 
 

@@ -26,6 +26,7 @@ Package map:
 ``repro.core``      keys, nodes, actions, history theory, engine, API
 ``repro.protocols`` sync / semisync / naive / mobile / variable
 ``repro.baselines`` available-copies, single-root, eager broadcast
+``repro.shard``     forest of dB-trees behind a shard directory
 ``repro.sim``       event kernel, FIFO network, processors, tracing
 ``repro.verify``    complete/compatible/ordered history checkers
 ``repro.workloads`` key streams, drivers, leaf balancer
@@ -35,6 +36,7 @@ Package map:
 
 from repro.core.client import DBTreeCluster, RunResults
 from repro.hash import LazyHashTable
+from repro.shard import ShardDirectory, ShardedCluster, check_shard_coverage
 from repro.trie import LazyTrie
 from repro.core.keys import NEG_INF, POS_INF, KeyRange
 from repro.core.replication import (
@@ -62,6 +64,9 @@ __all__ = [
     "LazyHashTable",
     "LazyTrie",
     "RunResults",
+    "ShardedCluster",
+    "ShardDirectory",
+    "check_shard_coverage",
     "NEG_INF",
     "POS_INF",
     "KeyRange",

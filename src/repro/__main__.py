@@ -154,6 +154,85 @@ def _build_fault_plans(args: argparse.Namespace):
     return fault_plan, crash_plan, partition_plan, detector_plan
 
 
+#: The demo workload's key modulus (prime: keys stay distinct).
+_DEMO_KEY_SPACE = 999_983
+
+
+def _wants_sharding(args: argparse.Namespace) -> bool:
+    return args.shards > 1 or args.shard_split_threshold is not None
+
+
+def _build_any_cluster(args: argparse.Namespace, plans):
+    """The cluster the flags ask for: plain, or a sharded forest.
+
+    With ``--shards 1`` and no split threshold this constructs a plain
+    :class:`~repro.core.client.DBTreeCluster` -- the unsharded fast
+    path stays byte-identical.  The sharded forest range-partitions
+    the demo key space ``[0, 999_983)`` evenly and passes every fault
+    plan through to each shard tree.
+    """
+    fault_plan, crash_plan, partition_plan, detector_plan = plans
+    kwargs = dict(
+        num_processors=args.processors,
+        protocol=args.protocol,
+        capacity=args.capacity,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        reliability=args.reliability,
+        crash_plan=crash_plan,
+        partition_plan=partition_plan,
+        detector_plan=detector_plan,
+        op_timeout=args.op_timeout,
+        replication_factor=args.replication_factor,
+        mirror_placement=args.mirror_placement,
+        repair_period=args.repair_period,
+        repair_fanout=args.repair_fanout,
+    )
+    if not _wants_sharding(args):
+        from repro import DBTreeCluster
+
+        return DBTreeCluster(**kwargs)
+    from repro import ShardedCluster
+
+    boundaries = tuple(
+        index * _DEMO_KEY_SPACE // args.shards
+        for index in range(1, args.shards)
+    )
+    seed = kwargs.pop("seed")
+    return ShardedCluster(
+        shards=args.shards,
+        initial_boundaries=boundaries,
+        shard_split_threshold=args.shard_split_threshold,
+        shard_merge_threshold=args.shard_merge_threshold,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def _print_shard_summary(forest) -> None:
+    """The sharded demo's forest-shape and routing report."""
+    summary = forest.shard_summary()
+    print(
+        f"shards: {summary['live_shards']} live "
+        f"({summary['retired_shards']} retired), directory version "
+        f"{summary['directory_version']}, {summary['splits']} splits, "
+        f"{summary['merges']} merges, "
+        f"{summary['keys_migrated']} keys migrated"
+    )
+    for shard in forest.directory.live_shards():
+        entries = summary["entries_by_shard"][shard.shard_id]
+        print(f"  shard {shard.shard_id:<3} {str(shard.range):<40} "
+              f"{entries} entries")
+    print(
+        f"routing: {summary['direct_routes']} direct, "
+        f"{summary['stale_routes']} stale "
+        f"({summary['hint_hops']} hint hops, "
+        f"{summary['forwards']} forwards, "
+        f"{summary['refreshes']} view refreshes), "
+        f"scan fan-out {summary['scan_fanout']}"
+    )
+
+
 def _print_fault_summaries(cluster) -> None:
     """One line per active opt-in fault/detection layer."""
     from repro.stats import detector_summary, partition_summary
@@ -183,36 +262,20 @@ def _print_fault_summaries(cluster) -> None:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import DBTreeCluster
     from repro.stats import availability_summary
     from repro.tools import cluster_summary, dump_tree
 
-    fault_plan, crash_plan, partition_plan, detector_plan = (
-        _build_fault_plans(args)
-    )
-    cluster = DBTreeCluster(
-        num_processors=args.processors,
-        protocol=args.protocol,
-        capacity=args.capacity,
-        seed=args.seed,
-        fault_plan=fault_plan,
-        reliability=args.reliability,
-        crash_plan=crash_plan,
-        partition_plan=partition_plan,
-        detector_plan=detector_plan,
-        op_timeout=args.op_timeout,
-        replication_factor=args.replication_factor,
-        mirror_placement=args.mirror_placement,
-        repair_period=args.repair_period,
-        repair_fanout=args.repair_fanout,
-    )
+    plans = _build_fault_plans(args)
+    fault_plan, crash_plan, partition_plan, detector_plan = plans
+    cluster = _build_any_cluster(args, plans)
+    sharded = _wants_sharding(args)
     expected = {}
     faulty = crash_plan is not None or partition_plan is not None
     spacing = args.op_spacing if faulty else 0.0
     for index in range(args.inserts):
-        key = index * 37 % 999_983  # prime modulus: keys stay distinct
+        key = index * 37 % _DEMO_KEY_SPACE
         expected[key] = index
-        if spacing:
+        if spacing and not sharded:
             cluster.schedule(
                 index * spacing, "insert", key, index,
                 client=index % args.processors,
@@ -221,34 +284,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             cluster.insert(key, index, client=index % args.processors)
     results = cluster.run()
     report = cluster.check(expected=expected)
-    print(cluster_summary(cluster.engine))
+    if sharded:
+        _print_shard_summary(cluster)
+        trees = [
+            (shard.shard_id, sub.kernel, sub.trace, sub.engine)
+            for shard in cluster.directory.live_shards()
+            for sub in (cluster.clusters[shard.shard_id],)
+        ]
+    else:
+        print(cluster_summary(cluster.engine))
+        print()
+        print(dump_tree(cluster.engine))
+        trees = [(None, cluster.kernel, cluster.trace, cluster.engine)]
     print()
-    print(dump_tree(cluster.engine))
-    print()
-    stats = cluster.kernel.network.stats
     if args.reliability == "enforced" or fault_plan is not None:
-        print(
-            f"network: {stats.sent} logical msgs, "
-            f"{stats.physical_sent} on the wire "
-            f"({stats.retransmits} retransmits, {stats.acks} acks), "
-            f"{stats.dropped} dropped, "
-            f"{stats.dup_suppressed} dups suppressed, "
-            f"{stats.resequenced} resequenced"
-        )
+        for label, kernel, _, _ in trees:
+            stats = kernel.network.stats
+            prefix = f"shard {label} " if label is not None else ""
+            print(
+                f"{prefix}network: {stats.sent} logical msgs, "
+                f"{stats.physical_sent} on the wire "
+                f"({stats.retransmits} retransmits, {stats.acks} acks), "
+                f"{stats.dropped} dropped, "
+                f"{stats.dup_suppressed} dups suppressed, "
+                f"{stats.resequenced} resequenced"
+            )
     if crash_plan is not None:
-        avail = availability_summary(cluster.kernel, cluster.trace)
+        crashes = restarts = lost = letters = 0
+        for _, kernel, trace, _ in trees:
+            avail = availability_summary(kernel, trace)
+            crashes += avail["crashes"]
+            restarts += avail["restarts"]
+            lost += avail["lost_actions"]
+            letters += avail["dead_letters"]
         print(
-            f"availability: {avail['crashes']} crashes "
-            f"({avail['restarts']} restarted), "
-            f"{avail['lost_actions']} actions lost, "
-            f"{avail['dead_letters']} dead letters, "
-            f"{avail.get('leaves_rehomed', 0)} leaves re-homed, "
-            f"{avail.get('pc_donations', 0)} PC donations; "
+            f"availability: {crashes} crashes "
+            f"({restarts} restarted), "
+            f"{lost} actions lost, "
+            f"{letters} dead letters; "
             f"ops: {len(results.completed)} completed, "
             f"{len(results.failed)} failed, "
             f"{len(results.timed_out)} timed out"
         )
-    if args.repair_period is not None:
+    if args.repair_period is not None and not sharded:
         from repro.stats import repair_summary
 
         rs = repair_summary(cluster.kernel, cluster.trace)
@@ -268,7 +346,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"repairs: {by_kind or 'none'}; "
             f"converged {rs['time_to_convergence']:.0f} before quiescence"
         )
-    _print_fault_summaries(cluster)
+    if not sharded:
+        _print_fault_summaries(cluster)
     print("audit:", report.summary())
     if not report.ok:
         for problem in report.problems[:10]:
@@ -277,7 +356,6 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro import DBTreeCluster
     from repro.stats import (
         availability_summary,
         detector_summary,
@@ -285,34 +363,31 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         repair_summary,
     )
 
-    fault_plan, crash_plan, partition_plan, detector_plan = (
-        _build_fault_plans(args)
-    )
-    cluster = DBTreeCluster(
-        num_processors=args.processors,
-        protocol=args.protocol,
-        capacity=args.capacity,
-        seed=args.seed,
-        fault_plan=fault_plan,
-        reliability=args.reliability,
-        crash_plan=crash_plan,
-        partition_plan=partition_plan,
-        detector_plan=detector_plan,
-        op_timeout=args.op_timeout,
-        replication_factor=args.replication_factor,
-        mirror_placement=args.mirror_placement,
-        repair_period=args.repair_period,
-        repair_fanout=args.repair_fanout,
-    )
+    plans = _build_fault_plans(args)
+    fault_plan, crash_plan, partition_plan, detector_plan = plans
+    cluster = _build_any_cluster(args, plans)
+    sharded = _wants_sharding(args)
     for index in range(args.inserts):
-        key = index * 37 % 999_983
-        cluster.schedule(
-            index * args.op_spacing, "insert", key, index,
-            client=index % args.processors,
-        )
+        key = index * 37 % _DEMO_KEY_SPACE
+        if sharded:
+            cluster.insert(key, index, client=index % args.processors)
+        else:
+            cluster.schedule(
+                index * args.op_spacing, "insert", key, index,
+                client=index % args.processors,
+            )
     results = cluster.run()
+    if sharded:
+        trees = [
+            (sub.kernel, sub.trace)
+            for _, sub in sorted(cluster.clusters.items())
+        ]
+        now = max(kernel.now for kernel, _ in trees)
+    else:
+        trees = [(cluster.kernel, cluster.trace)]
+        now = cluster.now
     print(
-        f"fault layers @ t={cluster.now:.0f} "
+        f"fault layers @ t={now:.0f} "
         f"({len(results.completed)}/{args.inserts} ops completed):"
     )
 
@@ -320,6 +395,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         state = "on " if on else "off"
         suffix = f"  {detail}" if on and detail else ""
         print(f"  {name:<12}{state}{suffix}")
+
+    def total(summary_fn, field) -> int:
+        return sum(summary_fn(kernel, trace).get(field, 0)
+                   for kernel, trace in trees)
 
     line(
         "faults", fault_plan is not None,
@@ -332,41 +411,70 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         "reliability", args.reliability == "enforced",
         "retransmission + dedup + resequencing",
     )
-    avail = availability_summary(cluster.kernel, cluster.trace)
     line(
         "crash", crash_plan is not None,
-        f"{avail['crashes']} crashes, {avail['restarts']} restarts, "
-        f"{avail['lost_actions']} actions lost",
+        f"{total(availability_summary, 'crashes')} crashes, "
+        f"{total(availability_summary, 'restarts')} restarts, "
+        f"{total(availability_summary, 'lost_actions')} actions lost",
     )
-    ps = partition_summary(cluster.kernel)
+    partition_on = any(
+        partition_summary(kernel).get("enabled", False)
+        for kernel, _ in trees
+    )
     line(
-        "partition", ps.get("enabled", False),
-        ps.get("enabled") and (
-            f"{ps['cuts_applied']} cuts ({ps['heals']} healed), "
-            f"{ps['gray_applied']} gray, "
-            f"{ps['messages_blocked']} messages swallowed"
+        "partition", partition_on,
+        partition_on and (
+            f"{sum(partition_summary(k).get('cuts_applied', 0) for k, _ in trees)} cuts "
+            f"({sum(partition_summary(k).get('heals', 0) for k, _ in trees)} healed), "
+            f"{sum(partition_summary(k).get('gray_applied', 0) for k, _ in trees)} gray, "
+            f"{sum(partition_summary(k).get('messages_blocked', 0) for k, _ in trees)} "
+            "messages swallowed"
         ) or "",
     )
-    ds = detector_summary(cluster.kernel)
+    detector_on = any(
+        detector_summary(kernel).get("enabled", False)
+        for kernel, _ in trees
+    )
     line(
-        "detector", ds.get("enabled", False),
-        ds.get("enabled") and (
-            f"{ds['mode']}, {ds['suspicions']} suspicions "
-            f"({ds['false_suspicions']} false, "
-            f"{ds['rescinds']} rescinded)"
+        "detector", detector_on,
+        detector_on and (
+            f"{detector_summary(trees[0][0])['mode']}, "
+            f"{sum(detector_summary(k).get('suspicions', 0) for k, _ in trees)} suspicions "
+            f"({sum(detector_summary(k).get('false_suspicions', 0) for k, _ in trees)} false, "
+            f"{sum(detector_summary(k).get('rescinds', 0) for k, _ in trees)} rescinded)"
         ) or "",
     )
-    rs = repair_summary(cluster.kernel, cluster.trace)
+    repair_on = any(
+        repair_summary(kernel, trace).get("enabled", False)
+        for kernel, trace in trees
+    )
     line(
-        "repair", rs.get("enabled", False),
-        rs.get("enabled") and (
-            f"{rs['rounds_started']} rounds, "
-            f"{rs['repairs_total']} repairs"
+        "repair", repair_on,
+        repair_on and (
+            f"{total(repair_summary, 'rounds_started')} rounds, "
+            f"{total(repair_summary, 'repairs_total')} repairs"
         ) or "",
     )
+    if sharded:
+        summary = cluster.shard_summary()
+        line(
+            "sharding", True,
+            f"{summary['live_shards']} live shards "
+            f"({summary['retired_shards']} retired), "
+            f"v{summary['directory_version']}, "
+            f"{summary['splits']} splits, {summary['merges']} merges, "
+            f"{summary['stale_routes']} stale routes recovered",
+        )
+    else:
+        line("sharding", False)
     print("seeds:")
-    for stream, value in sorted(cluster.seed_summary().items()):
-        print(f"  {stream:<12}{value}")
+    if sharded:
+        for label, streams in cluster.seed_summary().items():
+            for stream, value in sorted(streams.items()):
+                print(f"  {label}/{stream:<12}{value}")
+    else:
+        for stream, value in sorted(cluster.seed_summary().items()):
+            print(f"  {stream:<12}{value}")
     return 0
 
 
@@ -646,6 +754,21 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         "--op-spacing", type=float, default=8.0,
         help="inter-arrival time between inserts when a crash or "
         "partition plan is active (so faults land mid-workload)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run a forest of this many dB-trees behind a shard "
+        "directory (1 = the unsharded fast path, byte-identical)",
+    )
+    parser.add_argument(
+        "--shard-split-threshold", type=int, default=None,
+        help="entry count at which an overloaded shard splits at its "
+        "median key (implies the sharded path even with --shards 1)",
+    )
+    parser.add_argument(
+        "--shard-merge-threshold", type=int, default=None,
+        help="combined entry count under which two adjacent shards "
+        "merge (must be below the split threshold)",
     )
 
 

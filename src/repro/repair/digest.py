@@ -80,8 +80,8 @@ class DigestIndex:
     """Per-processor digest caches with O(changed) revalidation."""
 
     def __init__(self) -> None:
-        # pid -> node_id -> (cache_key, digest)
-        self._nodes: dict[int, dict[int, tuple[tuple, int]]] = {}
+        # pid -> node_id -> (cache_key, digest, is_leaf, num_entries)
+        self._nodes: dict[int, dict[int, tuple[tuple, int, bool, int]]] = {}
         # pid -> node_id -> (snapshot, digest); snapshots are immutable
         # so identity is a sound cache key.
         self._mirrors: dict[int, dict[int, tuple["NodeSnapshot", int]]] = {}
@@ -104,8 +104,37 @@ class DigestIndex:
         if entry is not None and entry[0] == key:
             return entry[1]
         digest = copy_digest(copy)
-        cache[copy.node_id] = (key, digest)
+        cache[copy.node_id] = (key, digest, copy.is_leaf, copy.num_entries)
         return digest
+
+    def leaf_entry_estimate(self, live_ids: set[int] | None = None) -> int | None:
+        """Total leaf entries per the digest caches; None if empty.
+
+        The anti-entropy rounds already walk every node to hash it, so
+        the caches double as a free load measurement (digest-driven
+        rebalancing): sum the per-leaf entry counts, deduplicating
+        node ids across processors.  ``live_ids`` restricts the sum to
+        the logical tree's current leaves -- the cache is grow-only,
+        so rows for since-retired leaves linger and must be filtered
+        by a caller that knows the live set.  Counts refresh at gossip
+        cadence (or on explicit :meth:`node_digest` revalidation), so
+        the estimate can lag live mutations by up to one repair
+        period, but it is exact at quiescence, which is when the
+        shard balancer reads it.
+        """
+        counts: dict[int, int] = {}
+        seen_leaf = False
+        for cache in self._nodes.values():
+            for node_id, entry in cache.items():
+                if not entry[2]:
+                    continue
+                if live_ids is not None and node_id not in live_ids:
+                    continue
+                seen_leaf = True
+                counts[node_id] = max(counts.get(node_id, 0), entry[3])
+        if not seen_leaf:
+            return None
+        return sum(counts.values())
 
     def mirror_digest(self, pid: int, node_id: int, snap: "NodeSnapshot") -> int:
         cache = self._mirrors.setdefault(pid, {})

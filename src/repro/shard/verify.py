@@ -1,0 +1,226 @@
+"""Shard-layer correctness checks.
+
+The per-shard trees already have a full audit (``repro.verify``);
+what sharding adds is a routing layer that can be wrong in its own
+ways.  :func:`check_shard_coverage` audits exactly those:
+
+* **Partition soundness** -- the live shard ranges tile the key space
+  ``[NEG_INF, POS_INF)`` with no gap and no overlap, and every
+  retired shard carries a forward pointer to a known shard.
+* **Placement** -- every key stored in a shard's tree falls inside
+  that shard's directory range (a migration that lost or leaked a
+  key shows up here).
+* **Routability** -- replaying the router from a *copy* of every
+  client's cached view (however stale), every stored key and every
+  shard boundary reaches the unique live covering shard within the
+  hop bound.  This is the shard-level analogue of the hash layer's
+  ``check_resolvability``.
+* **Version convergence** -- no client view claims a version ahead of
+  the authoritative directory, no view references an unknown shard,
+  and a view that replays one recovery refresh lands exactly on the
+  authoritative version (stale views converge; they never wander).
+
+The full sharded audit (:func:`check_sharded`) runs each shard tree's
+``check_all`` with the expected contents restricted to the shard's
+range, then appends the coverage checks, into one
+:class:`~repro.verify.checker.CheckReport`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.keys import NEG_INF, POS_INF, Key, key_lt
+from repro.shard.directory import MAX_ROUTE_HOPS, DirectoryView
+from repro.verify.checker import CheckReport, check_all
+
+if TYPE_CHECKING:
+    from repro.shard.cluster import ShardedCluster
+
+
+def _replay_route(sharded: "ShardedCluster", view: DirectoryView, point) -> int:
+    """Pure replay of the router's recovery walk (no counters, no
+    view mutation); returns the shard id it terminates at, or -1."""
+    directory = sharded.directory
+    shard_id = view.route(point)
+    for _ in range(MAX_ROUTE_HOPS + 1):
+        info = directory.info(shard_id)
+        if info.retired:
+            target = info.shed_target(point)
+            shard_id = target if target is not None else info.forward_to
+        elif not info.range.contains(point):
+            next_id = info.shed_target(point)
+            if next_id is None:
+                return -1
+            shard_id = next_id
+        else:
+            return shard_id
+        if shard_id is None:
+            return -1
+    return -1
+
+
+def check_partition_soundness(sharded: "ShardedCluster") -> list[str]:
+    """Live ranges tile the key space; retired shards forward."""
+    problems = []
+    live = sharded.directory.live_shards()
+    if not live:
+        return ["no live shards: the directory partitions nothing"]
+    if live[0].range.low is not NEG_INF:
+        problems.append(
+            f"coverage gap below first shard: shard {live[0].shard_id} "
+            f"starts at {live[0].range.low!r}, not NEG_INF"
+        )
+    if live[-1].range.high is not POS_INF:
+        problems.append(
+            f"coverage gap above last shard: shard {live[-1].shard_id} "
+            f"ends at {live[-1].range.high!r}, not POS_INF"
+        )
+    for left, right in zip(live, live[1:]):
+        if left.range.high != right.range.low:
+            kind = (
+                "overlap"
+                if key_lt(right.range.low, left.range.high)
+                else "gap"
+            )
+            problems.append(
+                f"partition {kind} between shard {left.shard_id} "
+                f"{left.range} and shard {right.shard_id} {right.range}"
+            )
+    for shard in sharded.directory.shards.values():
+        if shard.retired and shard.forward_to not in sharded.directory.shards:
+            problems.append(
+                f"retired shard {shard.shard_id} forwards to unknown "
+                f"shard {shard.forward_to!r}"
+            )
+    return problems
+
+
+def check_placement(sharded: "ShardedCluster") -> list[str]:
+    """Every stored key sits in the shard the directory assigns it."""
+    problems = []
+    for shard in sharded.directory.live_shards():
+        for key in sharded.shard_contents(shard.shard_id):
+            point = sharded._point(key)
+            if not shard.range.contains(point):
+                problems.append(
+                    f"key {key!r} stored in shard {shard.shard_id} "
+                    f"{shard.range} but routes to point {point!r} "
+                    "outside it"
+                )
+    for shard in sharded.directory.shards.values():
+        if not shard.retired:
+            continue
+        leftovers = sharded.shard_contents(shard.shard_id)
+        if leftovers:
+            sample = sorted(leftovers)[:3]
+            problems.append(
+                f"retired shard {shard.shard_id} still holds "
+                f"{len(leftovers)} keys (e.g. {sample!r}); its drain "
+                "migration lost deletes"
+            )
+    return problems
+
+
+def _probe_points(sharded: "ShardedCluster") -> list:
+    points = set()
+    for shard in sharded.directory.live_shards():
+        if shard.range.low is not NEG_INF:
+            points.add(shard.range.low)
+        for key in sharded.shard_contents(shard.shard_id):
+            points.add(sharded._point(key))
+    return sorted(points)
+
+
+def check_routability(sharded: "ShardedCluster") -> list[str]:
+    """Every point reaches its covering shard from every client view."""
+    problems = []
+    directory = sharded.directory
+    points = _probe_points(sharded)
+    views = list(sharded.views.items())
+    # Also probe from a view of the very first directory version, the
+    # stalest view any execution could still harbour.
+    views.append(("genesis", DirectoryView(0, directory.genesis_bounds)))
+    for origin, view in views:
+        for point in points:
+            want = directory.covering(point)
+            got = _replay_route(sharded, view, point)
+            if got != want:
+                problems.append(
+                    f"point {point!r} from view of client {origin!r} "
+                    f"(version {view.version}) routes to shard {got}, "
+                    f"but shard {want} covers it"
+                )
+    return problems
+
+
+def check_version_convergence(sharded: "ShardedCluster") -> list[str]:
+    """Client views never run ahead and converge on one refresh."""
+    problems = []
+    directory = sharded.directory
+    current = directory.version
+    known = set(directory.shards)
+    for pid, view in sharded.views.items():
+        if view.version > current:
+            problems.append(
+                f"client {pid} view version {view.version} is ahead of "
+                f"the directory ({current}); versions must be earned"
+            )
+        for _, shard_id in view.bounds:
+            if shard_id not in known:
+                problems.append(
+                    f"client {pid} view names unknown shard {shard_id}"
+                )
+        replay = DirectoryView(view.version, view.bounds)
+        replay.refresh(directory)
+        if replay.version != current or replay.bounds != directory.snapshot()[1]:
+            problems.append(
+                f"client {pid} view does not converge to the "
+                f"authoritative directory after one refresh"
+            )
+    return problems
+
+
+def check_shard_coverage(sharded: "ShardedCluster") -> list[str]:
+    """All shard-layer invariants: partition, placement, routing,
+    version convergence.  Empty list means the layer is sound."""
+    problems = check_partition_soundness(sharded)
+    if problems:
+        # Routing replay over a broken partition would only restate
+        # the structural damage; report the root cause alone.
+        return problems
+    problems.extend(check_placement(sharded))
+    problems.extend(check_routability(sharded))
+    problems.extend(check_version_convergence(sharded))
+    return problems
+
+
+def check_sharded(
+    sharded: "ShardedCluster",
+    expected: Mapping[Key, Any] | None = None,
+) -> CheckReport:
+    """Full forest audit: per-shard ``check_all`` + shard coverage.
+
+    ``expected`` is the whole-forest oracle; each shard tree is
+    audited against the restriction of it to the shard's range.
+    """
+    report = CheckReport()
+    for shard in sharded.directory.live_shards():
+        shard_expected = None
+        if expected is not None:
+            shard_expected = {
+                key: value
+                for key, value in expected.items()
+                if shard.range.contains(sharded._point(key))
+            }
+        sub = check_all(
+            sharded.clusters[shard.shard_id].engine, expected=shard_expected
+        )
+        for name in sub.checks_run:
+            if name not in report.checks_run:
+                report.checks_run.append(name)
+        report.problems.extend(
+            f"shard {shard.shard_id}: {problem}" for problem in sub.problems
+        )
+    report.extend("shard_coverage", check_shard_coverage(sharded))
+    return report

@@ -20,6 +20,7 @@ from repro.stats.metrics import (
     repair_summary,
     replication_profile,
     search_locality,
+    shard_summary,
     space_utilization,
     split_message_cost,
     stale_reads,
@@ -48,6 +49,7 @@ __all__ = [
     "replication_profile",
     "update_read_ratio",
     "search_locality",
+    "shard_summary",
     "space_utilization",
     "split_message_cost",
     "stale_reads",

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.core.dbtree import DBTreeEngine
+    from repro.shard.cluster import ShardedCluster
     from repro.sim.simulator import Kernel
     from repro.sim.tracing import Trace
 
@@ -237,6 +238,40 @@ def partition_summary(kernel: "Kernel") -> dict[str, Any]:
         kernel.network.stats, "partition_blocked", 0
     )
     return summary
+
+
+def shard_summary(sharded: "ShardedCluster") -> dict[str, Any]:
+    """Shard-layer accounting (X10 quantities).
+
+    Directory shape (live/retired shards, version), per-shard entry
+    counts in range order, reconfiguration work (splits, merges, keys
+    migrated), and router behaviour: direct routes vs stale routes
+    recovered through shed hints and forward pointers, and how many
+    view refreshes the recoveries triggered.
+    """
+    live = sharded.directory.live_shards()
+    counters = sharded.counters
+    return {
+        "enabled": True,
+        "partitioning": sharded.partitioning,
+        "live_shards": len(live),
+        "retired_shards": len(sharded.directory.shards) - len(live),
+        "directory_version": sharded.directory.version,
+        "entries_by_shard": {
+            shard.shard_id: sharded.entry_count(shard.shard_id)
+            for shard in live
+        },
+        "splits": counters["shard_splits"],
+        "merges": counters["shard_merges"],
+        "keys_migrated": counters["keys_migrated"],
+        "direct_routes": counters["shard_direct_routes"],
+        "stale_routes": counters["shard_stale_routes"],
+        "hint_hops": counters["shard_hint_hops"],
+        "forwards": counters["shard_forwards"],
+        "refreshes": counters["directory_refreshes"],
+        "scan_fanout": counters["scan_fanout"],
+        "migration_failures": counters.get("migration_failures", 0),
+    }
 
 
 def split_message_cost(engine: "DBTreeEngine") -> dict[str, float]:

@@ -9,7 +9,9 @@ from repro import DBTreeCluster
 @pytest.fixture
 def loaded():
     cluster = DBTreeCluster(num_processors=4, protocol="semisync", capacity=4, seed=3)
-    expected = run_insert_workload(cluster, count=200, key_fn=lambda i: i * 3)
+    expected = run_insert_workload(
+        cluster, count=200, key_fn=lambda i: i * 3, spread_clients=True
+    )
     return cluster, expected
 
 

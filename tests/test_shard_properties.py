@@ -1,0 +1,223 @@
+"""Property-based tests for the shard directory and sharded cluster.
+
+Mirrors the style of ``tests/test_hash_properties.py``: pure
+structural properties of the directory first (cheap, many cases),
+then seeded whole-forest properties driving real sharded clusters
+(fewer, heavier cases): router/directory agreement, no-gap/no-overlap
+partitioning, and cross-shard ``scan_sync`` equal to a sorted
+reference model.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import assert_clean, run_insert_workload
+from repro import NEG_INF, POS_INF, ShardedCluster
+from repro.shard import DirectoryView, ShardDirectory
+from repro.shard.verify import (
+    check_partition_soundness,
+    check_routability,
+    check_shard_coverage,
+    check_version_convergence,
+)
+
+
+def apply_random_reconfigs(directory, keys, decisions):
+    """Drive splits/merges from a hypothesis-chosen decision stream."""
+    keys = sorted(keys)
+    for choice, index in decisions:
+        live = directory.live_shards()
+        if choice == "split":
+            shard = live[index % len(live)]
+            inside = [
+                k for k in keys
+                if shard.range.contains(k) and k != shard.range.low
+            ]
+            if inside:
+                directory.split(shard.shard_id, inside[len(inside) // 2])
+        elif len(live) > 1:
+            left = live[index % (len(live) - 1)]
+            right = live[(index % (len(live) - 1)) + 1]
+            directory.merge(left.shard_id, right.shard_id)
+
+
+class TestDirectoryProperties:
+    @given(
+        keys=st.sets(st.integers(0, 10**6), min_size=2, max_size=50),
+        decisions=st.lists(
+            st.tuples(st.sampled_from(["split", "merge"]), st.integers(0, 10**3)),
+            max_size=12,
+        ),
+    )
+    def test_reconfigs_preserve_partition(self, keys, decisions):
+        directory = ShardDirectory()
+        apply_random_reconfigs(directory, keys, decisions)
+        live = directory.live_shards()
+        assert live[0].range.low is NEG_INF
+        assert live[-1].range.high is POS_INF
+        for left, right in zip(live, live[1:]):
+            assert left.range.high == right.range.low
+
+    @given(
+        keys=st.sets(st.integers(0, 10**6), min_size=2, max_size=50),
+        decisions=st.lists(
+            st.tuples(st.sampled_from(["split", "merge"]), st.integers(0, 10**3)),
+            max_size=12,
+        ),
+        probes=st.lists(st.integers(-10, 10**6 + 10), min_size=1, max_size=20),
+    )
+    def test_stale_views_always_recover(self, keys, decisions, probes):
+        """A view of *any* historical version routes every probe to
+        the covering shard via shed hints and forward pointers."""
+        directory = ShardDirectory()
+        snapshots = [directory.view()]
+        for step in range(len(decisions)):
+            apply_random_reconfigs(directory, keys, decisions[step : step + 1])
+            snapshots.append(directory.view())
+        for view in snapshots:
+            for probe in probes:
+                shard_id = view.route(probe)
+                hops = 0
+                while True:
+                    info = directory.info(shard_id)
+                    if info.retired:
+                        target = info.shed_target(probe)
+                        shard_id = (
+                            target if target is not None else info.forward_to
+                        )
+                    elif not info.range.contains(probe):
+                        shard_id = info.shed_target(probe)
+                        assert shard_id is not None, (
+                            f"no shed hint for {probe} at {info}"
+                        )
+                    else:
+                        break
+                    hops += 1
+                    assert hops <= len(decisions) + 1
+                assert directory.covering(probe) == shard_id
+
+    @given(
+        boundaries=st.lists(
+            st.integers(1, 10**6), min_size=1, max_size=8, unique=True
+        )
+    )
+    def test_initial_boundaries_tile_key_space(self, boundaries):
+        directory = ShardDirectory(tuple(sorted(boundaries)))
+        live = directory.live_shards()
+        assert len(live) == len(boundaries) + 1
+        view = directory.view()
+        for boundary in boundaries:
+            assert directory.covering(boundary) == view.route(boundary)
+            assert directory.covering(boundary - 1) == view.route(boundary - 1)
+
+
+class TestShardedClusterProperties:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10**6),
+        count=st.integers(30, 90),
+        split_threshold=st.integers(10, 40),
+    )
+    def test_router_directory_agreement(self, seed, count, split_threshold):
+        """After load-driven splits, every key routes (from every
+        client's possibly-stale view) to the shard that covers it,
+        the partition has no gap or overlap, and the audit is clean.
+        """
+        forest = ShardedCluster(
+            num_processors=4,
+            protocol="semisync",
+            capacity=4,
+            seed=seed,
+            shard_split_threshold=split_threshold,
+            shard_merge_threshold=split_threshold // 3 or None,
+        )
+        expected = run_insert_workload(
+            forest, count=count, key_fn=lambda i: (i * 13) % 4001,
+            spread_clients=True,
+        )
+        assert forest.counters["shard_splits"] >= 1
+        assert check_partition_soundness(forest) == []
+        assert check_routability(forest) == []
+        assert check_version_convergence(forest) == []
+        for key in expected:
+            covering = forest.directory.covering(forest._point(key))
+            for pid in forest.pids:
+                assert forest._locate(pid, key) == covering
+        assert_clean(forest, expected)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10**6),
+        keys=st.sets(st.integers(0, 5000), min_size=20, max_size=80),
+        bounds=st.tuples(st.integers(0, 5000), st.integers(0, 5000)),
+        partitioning=st.sampled_from(["range", "hash"]),
+    )
+    def test_cross_shard_scan_matches_model(
+        self, seed, keys, bounds, partitioning
+    ):
+        """``scan_sync`` over the forest equals a sorted dict model,
+        for both range partitioning (stitched walks) and hash
+        partitioning (all-shard fan-out merge)."""
+        low, high = min(bounds), max(bounds)
+        forest = ShardedCluster(
+            num_processors=4,
+            protocol="semisync",
+            capacity=4,
+            seed=seed,
+            shards=1 if partitioning == "range" else 3,
+            partitioning=partitioning,
+            shard_split_threshold=20,
+        )
+        model = {key: f"v{key}" for key in keys}
+        assert forest.load(model, spread_clients=True).ok
+        reference = tuple(
+            (key, model[key]) for key in sorted(model) if low <= key < high
+        )
+        assert forest.scan_sync(low, high) == reference
+        limit = max(1, len(reference) // 2)
+        assert forest.scan_sync(low, high, limit=limit) == reference[:limit]
+        assert check_shard_coverage(forest) == []
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10**6))
+    def test_merge_drain_then_convergence(self, seed):
+        """Deleting most keys merges shards away; views converge after
+        spread traffic and the retired shards hold nothing."""
+        forest = ShardedCluster(
+            num_processors=4,
+            protocol="semisync",
+            capacity=4,
+            seed=seed,
+            shard_split_threshold=16,
+            shard_merge_threshold=6,
+        )
+        expected = run_insert_workload(
+            forest, count=60, key_fn=lambda i: i * 17, spread_clients=True
+        )
+        assert forest.num_shards > 1
+        for index, key in enumerate(sorted(expected)[8:]):
+            forest.delete(key, client=forest.pids[index % 4])
+            del expected[key]
+        assert forest.run().ok
+        assert forest.counters["shard_merges"] >= 1
+        # Spread searches repair every client's stale view.
+        for index, key in enumerate(sorted(expected)):
+            forest.search(key, client=forest.pids[index % 4])
+        assert forest.run().ok
+        forest.sync_directories()
+        versions = {view.version for view in forest.views.values()}
+        assert versions == {forest.directory.version}
+        assert check_shard_coverage(forest) == []
+        assert_clean(forest, expected)

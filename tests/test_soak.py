@@ -9,10 +9,11 @@ These are the closest runs to 'production traffic' in the suite.
 import pytest
 
 from tests.helpers import assert_clean
-from repro import DBTreeCluster
+from repro import DBTreeCluster, ShardedCluster
 from repro.workloads import DiffusiveBalancer, uniform_keys
 
 
+@pytest.mark.soak
 @pytest.mark.parametrize("seed", [3, 17])
 def test_variable_protocol_full_stack_soak(seed):
     cluster = DBTreeCluster(
@@ -88,6 +89,7 @@ def test_variable_protocol_full_stack_soak(seed):
     assert not cluster.trace.incomplete_operations()
 
 
+@pytest.mark.soak
 def test_semisync_batched_soak():
     cluster = DBTreeCluster(
         num_processors=6,
@@ -111,6 +113,7 @@ def test_semisync_batched_soak():
     assert cluster.engine.relay_batcher.batches_sent > 50
 
 
+@pytest.mark.soak
 def test_sync_protocol_soak_under_jitter():
     cluster = DBTreeCluster(
         num_processors=4,
@@ -128,3 +131,71 @@ def test_sync_protocol_soak_under_jitter():
     assert_clean(cluster, expected=expected)
     assert cluster.trace.counters.get("blocked_initial_updates", 0) > 0
     assert cluster.trace.blocked_time > 0
+
+
+@pytest.mark.soak
+def test_sharded_forest_soak():
+    """The full shard lifecycle under sustained mixed traffic.
+
+    Paced inserts with live searches grow the forest (splits), scans
+    stitch results across the moving shard boundaries, then a heavy
+    delete wave shrinks it back (merges) -- and the complete audit,
+    per-shard ``check_all`` plus ``check_shard_coverage``, is clean.
+    """
+    forest = ShardedCluster(
+        num_processors=6,
+        protocol="semisync",
+        capacity=6,
+        seed=13,
+        shards=2,
+        initial_boundaries=(3200,),
+        shard_split_threshold=60,
+        shard_merge_threshold=20,
+    )
+    expected = {}
+
+    # Phase 1: paced mixed load with live searches, spread over every
+    # client so each processor's directory view sees real traffic.
+    keys = uniform_keys(400, seed=14)
+    for index, key in enumerate(keys):
+        expected[key] = index
+        forest.schedule(index * 1.5, "insert", key, index, client=index % 6)
+        if index % 6 == 0:
+            forest.schedule(
+                index * 1.5 + 300.0, "search", keys[index // 2], client=(index + 2) % 6
+            )
+    assert forest.run().ok
+    assert forest.counters["shard_splits"] >= 1
+    splits_after_growth = forest.counters["shard_splits"]
+
+    # Phase 2: cross-shard scans across the moving boundaries.
+    ordered = sorted(expected)
+    low, high = ordered[5], ordered[-5]
+    scanned = forest.scan_sync(low, high)
+    assert [k for k, _v in scanned] == [k for k in ordered if low <= k < high]
+
+    # Phase 3: heavy delete wave with interleaved searches shrinks
+    # the forest back down.
+    doomed = [key for index, key in enumerate(ordered) if index % 8]
+    for index, key in enumerate(doomed):
+        forest.delete(key, client=index % 6)
+        del expected[key]
+        if index % 9 == 0 and expected:
+            forest.search(min(expected), client=(index + 4) % 6)
+    assert forest.run().ok
+    assert forest.counters["shard_merges"] >= 1
+
+    # Phase 4: post-merge scans and spread searches still agree.
+    remaining = sorted(expected)
+    scanned = forest.scan_sync(remaining[0], remaining[-1] + 1)
+    assert [k for k, _v in scanned] == remaining
+    for index, key in enumerate(remaining[::7]):
+        forest.search(key, client=index % 6)
+    assert forest.run().ok
+
+    # Final audit: every shard's tree invariants plus the directory.
+    assert_clean(forest, expected=expected)
+    summary = forest.shard_summary()
+    assert summary["splits"] == splits_after_growth
+    assert summary["merges"] >= 1
+    assert summary["keys_migrated"] > 0
